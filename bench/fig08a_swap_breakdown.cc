@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 8(a): breakdown of Capuchin's swap mechanisms on InceptionV3.
+ *
+ * Paper findings (batch 200 / 400, swap-only Capuchin vs vDNN):
+ *  - batch 200: ATP+DS beats vDNN by 73.9%; adding FA gains another 21.9%
+ *  - batch 400: ~25 GB must be evicted; swap-out/in take 1.97 s / 2.60 s
+ *    against ~2.0 s of overlappable compute, so the gain shrinks to 5.5%
+ *
+ * ATP = access-time profiling (measured execution + quantitative plan),
+ * DS = decoupled computation/swapping (always on for Capuchin),
+ * FA = feedback-driven in-trigger adjustment.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    bool feedback;
+};
+
+double
+runVariant(std::int64_t batch, bool feedback, IterationStats *last = nullptr)
+{
+    CapuchinOptions opts;
+    opts.enableRecompute = false; // swap-only, per the figure
+    opts.enableFeedback = feedback;
+    Session s(buildInceptionV3(batch), ExecConfig{},
+              makeCapuchinPolicy(opts));
+    auto r = s.run(16);
+    if (r.oom)
+        return 0.0;
+    if (last)
+        *last = r.iterations.back();
+    return r.steadyThroughput(batch, 8);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Swap-mechanism breakdown on InceptionV3 (swap-only Capuchin)",
+           "Figure 8(a)");
+
+    Table t({"batch", "system", "img/s", "vs vDNN", "paper"});
+    for (std::int64_t batch : {std::int64_t{200}, std::int64_t{400}}) {
+        double vdnn = steadySpeed(ModelKind::InceptionV3, batch,
+                                  System::Vdnn, {}, 8, 3);
+        double atp_ds = runVariant(batch, false);
+        IterationStats fa_stats;
+        double atp_ds_fa = runVariant(batch, true, &fa_stats);
+
+        t.addRow({cellInt(batch), "vDNN", cellDouble(vdnn, 1), "1.00x",
+                  "baseline"});
+        t.addRow({"", "ATP+DS", cellDouble(atp_ds, 1),
+                  ratioCell(atp_ds, vdnn),
+                  batch == 200 ? "+73.9% over vDNN" : "small gain"});
+        t.addRow({"", "ATP+DS+FA", cellDouble(atp_ds_fa, 1),
+                  ratioCell(atp_ds_fa, vdnn),
+                  batch == 200 ? "+21.9% over ATP+DS" : "+5.5% over vDNN"});
+
+        if (batch == 400) {
+            // The paper's saturation analysis at batch 400.
+            std::cout << "batch-400 saturation analysis (paper: ~25 GB "
+                         "evicted, 1.97 s out / 2.60 s in vs ~2.0 s "
+                         "compute):\n"
+                      << "  measured: evicted "
+                      << formatBytes(fa_stats.swapOutBytes) << " out, "
+                      << formatBytes(fa_stats.swapInBytes) << " in; "
+                      << "kernel time "
+                      << formatTicks(fa_stats.kernelBusy) << "; stalls "
+                      << formatTicks(fa_stats.inputStall +
+                                     fa_stats.allocStall)
+                      << "\n\n";
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nTakeaway: quantitative planning (ATP) + decoupled "
+                 "swapping dominate vDNN's static layer-wise scheme; "
+                 "feedback recovers the residual mistimed prefetches; at "
+                 "batch 400 the PCIe lanes saturate and swap-only gains "
+                 "collapse (the hybrid policy's motivation).\n";
+    return 0;
+}

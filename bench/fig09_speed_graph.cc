@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9 (a-f): training speed vs batch size, graph mode, all systems.
+ *
+ * Paper shape to reproduce per model:
+ *  - TF-ori is fastest but dies at its memory wall;
+ *  - vDNN is slow and flat (static layer-wise swapping);
+ *  - OpenAI is flat at a moderate level (static recomputation);
+ *  - Capuchin tracks TF-ori (<3% loss at +20% batch), degrades slowly
+ *    (~26% at 75% of its own max), and is the fastest managed system at
+ *    every batch; on Vgg16/BERT it can even *gain* speed from freed
+ *    memory / better GPU utilization.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+namespace
+{
+
+struct Sweep
+{
+    ModelKind kind;
+    std::vector<std::int64_t> batches; ///< roughly the paper's x-axis
+};
+
+const Sweep kSweeps[] = {
+    {ModelKind::Vgg16, {200, 220, 240, 260, 280, 300, 320}},
+    {ModelKind::ResNet50, {140, 210, 280, 350, 420, 560, 700, 900, 1000}},
+    {ModelKind::InceptionV3, {110, 170, 230, 290, 350, 470, 590, 700}},
+    {ModelKind::ResNet152, {50, 115, 180, 245, 310, 440, 570, 700}},
+    {ModelKind::InceptionV4, {60, 100, 140, 180, 220, 300, 380, 460}},
+    {ModelKind::BertBase, {40, 80, 120, 160, 200, 280, 360, 440}},
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Training speed vs batch size, graph mode (six models)",
+           "Figure 9 (a-f)");
+
+    for (const Sweep &sweep : kSweeps) {
+        std::cout << "--- " << modelName(sweep.kind) << " ---\n";
+        Table t({"batch", "TF-ori", "vDNN", "OpenAI-M", "OpenAI-S",
+                 "Capuchin"});
+        for (std::int64_t batch : sweep.batches) {
+            auto cell = [&](System sys) {
+                if (sweep.kind == ModelKind::BertBase &&
+                    sys == System::Vdnn)
+                    return std::string("-");
+                int iters = sys == System::Capuchin ? 16 : 6;
+                int skip = sys == System::Capuchin ? 10 : 3;
+                double v = steadySpeed(sweep.kind, batch, sys, {}, iters,
+                                       skip);
+                return v > 0 ? cellDouble(v, 1) : std::string("OOM");
+            };
+            t.addRow({cellInt(batch), cell(System::TfOri),
+                      cell(System::Vdnn), cell(System::OpenAiM),
+                      cell(System::OpenAiS), cell(System::Capuchin)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Shape checks vs the paper: TF-ori fastest until its "
+                 "wall; Capuchin degrades gracefully and leads every "
+                 "managed system; vDNN flat-slow; OpenAI flat-moderate.\n";
+    return 0;
+}

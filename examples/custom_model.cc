@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Example: define your own architecture and train it under Capuchin.
+ *
+ * Capuchin is computation-graph agnostic — it learns tensor lifetimes by
+ * watching accesses, so a model it has never seen (here: a wide U-Net-ish
+ * encoder/decoder with skip connections, a shape none of the paper's
+ * heuristic baselines anticipate) needs no policy changes at all.
+ *
+ *   $ custom_model [batch]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "core/capuchin_policy.hh"
+#include "exec/session.hh"
+#include "models/builder.hh"
+#include "policy/noop_policy.hh"
+#include "stats/table.hh"
+
+using namespace capu;
+
+namespace
+{
+
+/** A small U-Net-style segmenter: encoder, bottleneck, skip-connected
+ *  decoder (upsampling approximated by 1x1 conv + concat at full res). */
+Graph
+buildMiniUnet(std::int64_t batch)
+{
+    ModelBuilder b("MiniUNet", batch);
+    TensorId x = b.input(3, 192, 192);
+
+    // Encoder: keep each stage's output for the skip connections — these
+    // long-lived tensors are exactly what Capuchin evicts.
+    std::vector<TensorId> skips;
+    std::int64_t ch = 32;
+    for (int stage = 0; stage < 3; ++stage) {
+        x = b.convBnRelu(x, ch, 3);
+        x = b.convBnRelu(x, ch, 3);
+        skips.push_back(x);
+        x = b.maxpool(x, 2, 2);
+        ch *= 2;
+    }
+
+    // Bottleneck.
+    x = b.convBnRelu(x, ch, 3);
+    x = b.convBnRelu(x, ch, 3);
+
+    // Decoder: fuse each skip back in (channel-space fusion at the skip's
+    // resolution via 1x1 convs on pooled features).
+    for (int stage = 2; stage >= 0; --stage) {
+        ch /= 2;
+        // Reduce and "broadcast" the deep features to the skip resolution
+        // (modelled as a strided-transpose-equivalent 1x1 + concat).
+        TensorId up = b.convBnRelu(x, ch, 1, 1, 0);
+        // Project the skip and concatenate.
+        TensorId skip = b.convBnRelu(skips[stage], ch, 1, 1, 0);
+        // Match spatial dims: pool the skip projection down to `up`.
+        for (std::int64_t s = b.dims(skip).h / b.dims(up).h; s > 1; s /= 2)
+            skip = b.maxpool(skip, 2, 2);
+        x = b.concat({up, skip});
+        x = b.convBnRelu(x, ch, 3);
+    }
+
+    x = b.globalAvgPool(x);
+    x = b.fc(x, 21); // 21-class segmentation-ish head
+    return b.finalize(b.softmaxLoss(x));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 600;
+
+    std::cout << "== Custom architecture (MiniUNet) under Capuchin ==\n\n";
+    {
+        Graph g = buildMiniUnet(batch);
+        auto s = g.stats();
+        std::cout << "graph: " << s.opCount << " ops, " << s.tensorCount
+                  << " tensors, weights " << formatBytes(s.weightBytes)
+                  << ", feature maps " << formatBytes(s.featureMapBytes)
+                  << "\n\n";
+    }
+
+    Session base(buildMiniUnet(batch), ExecConfig{}, makeNoOpPolicy());
+    auto rb = base.run(1);
+    std::cout << "TF-original @ batch " << batch << ": "
+              << (rb.oom ? "OOM" : "fits") << "\n";
+
+    Session capu(buildMiniUnet(batch), ExecConfig{}, makeCapuchinPolicy());
+    auto rc = capu.run(8);
+    if (rc.oom) {
+        std::cout << "Capuchin: OOM — " << rc.oomMessage << "\n";
+        return 1;
+    }
+    std::cout << "Capuchin    @ batch " << batch << ": "
+              << cellDouble(rc.steadyThroughput(batch, 4), 1)
+              << " img/s (peak "
+              << formatBytes(rc.iterations.back().peakGpuBytes) << ", swap "
+              << formatBytes(rc.iterations.back().swapOutBytes)
+              << ", recompute "
+              << formatTicks(rc.iterations.back().recomputeBusy) << ")\n\n"
+              << "No model-specific tuning was involved: the policy came "
+                 "entirely from the measured access pattern.\n";
+    return 0;
+}

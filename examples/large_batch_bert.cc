@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Example: pushing BERT pre-training batch sizes (the paper's NLP
+ * headline — 7x the framework's maximum batch).
+ *
+ * Finds the largest feasible batch for the stock framework, OpenAI
+ * gradient-checkpointing, and Capuchin, then trains at a batch only
+ * Capuchin can hold and reports where the memory went.
+ *
+ *   $ large_batch_bert
+ */
+
+#include <iostream>
+
+#include "core/capuchin_policy.hh"
+#include "exec/session.hh"
+#include "models/zoo.hh"
+#include "policy/checkpointing_policy.hh"
+#include "policy/noop_policy.hh"
+#include "stats/table.hh"
+
+using namespace capu;
+
+int
+main()
+{
+    std::cout << "== BERT-base pre-training on a simulated P100 ==\n\n";
+
+    auto builder = [](std::int64_t b) { return buildBert(b); };
+    ExecConfig cfg;
+
+    auto tf = findMaxBatch(builder, [] { return makeNoOpPolicy(); }, cfg);
+    auto oai = findMaxBatch(
+        builder,
+        [] {
+            return makeCheckpointingPolicy(
+                CheckpointingPolicy::Mode::Memory);
+        },
+        cfg);
+    auto capu = findMaxBatch(builder, [] { return makeCapuchinPolicy(); },
+                             cfg);
+
+    Table t({"system", "max batch", "vs TF-ori"});
+    t.addRow({"TF-original", cellInt(tf), "1.0x"});
+    t.addRow({"gradient-checkpointing", cellInt(oai),
+              cellDouble(static_cast<double>(oai) / tf, 2) + "x"});
+    t.addRow({"Capuchin", cellInt(capu),
+              cellDouble(static_cast<double>(capu) / tf, 2) + "x"});
+    t.print(std::cout);
+    std::cout << "(paper: 64 / 210 / 450 — 7x and 2.1x gains)\n\n";
+
+    // Train at a batch far beyond both baselines.
+    std::int64_t batch = oai + (capu - oai) / 2;
+    std::cout << "training at batch " << batch
+              << " (beyond gradient-checkpointing's limit)...\n";
+    Session session(buildBert(batch), cfg, makeCapuchinPolicy());
+    auto r = session.run(10);
+    if (r.oom) {
+        std::cout << "OOM: " << r.oomMessage << "\n";
+        return 1;
+    }
+    const auto &it = r.iterations.back();
+    std::cout << "  steady speed: " << cellDouble(r.steadyThroughput(batch), 1)
+              << " samples/s\n"
+              << "  swap traffic: " << formatBytes(it.swapOutBytes)
+              << " out / " << formatBytes(it.swapInBytes) << " in\n"
+              << "  recomputation: " << it.recomputeOps << " ops, "
+              << formatTicks(it.recomputeBusy) << "\n"
+              << "  GPU peak: " << formatBytes(it.peakGpuBytes) << " of "
+              << formatBytes(cfg.device.memCapacity) << "\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example: survey the memory demand and baseline speed of the model zoo.
+ *
+ * For each workload this runs two unmodified (TF-original) training
+ * iterations on a simulated P100 with an *uncapped* memory pool and reports
+ * weights, peak activation footprint, op counts and training throughput —
+ * the numbers you need to predict whether a given batch size fits a real
+ * 16 GB card, and the calibration points for EXPERIMENTS.md.
+ *
+ * Usage: model_survey [batch]   (default: each model's paper TF-ori max)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "exec/session.hh"
+#include "models/zoo.hh"
+#include "policy/noop_policy.hh"
+#include "stats/table.hh"
+
+using namespace capu;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t forced_batch = argc > 1 ? std::atoll(argv[1]) : 0;
+
+    // Paper Table 2 TF-ori maxima: the batch each model should roughly
+    // saturate a 16 GB P100 at.
+    struct Row
+    {
+        ModelKind kind;
+        std::int64_t paper_batch;
+    };
+    const Row rows[] = {
+        {ModelKind::Vgg16, 228},       {ModelKind::ResNet50, 190},
+        {ModelKind::ResNet152, 86},    {ModelKind::InceptionV3, 160},
+        {ModelKind::InceptionV4, 88},  {ModelKind::DenseNet121, 70},
+        {ModelKind::BertBase, 64},
+    };
+
+    Table table({"model", "batch", "ops", "tensors", "weights",
+                 "act peak", "iter time", "img/s"});
+
+    for (const Row &row : rows) {
+        std::int64_t batch = forced_batch ? forced_batch : row.paper_batch;
+        Graph g = buildModel(row.kind, batch);
+
+        ExecConfig cfg;
+        cfg.device = GpuDeviceSpec::p100();
+        cfg.device.memCapacity = 512ull << 30; // uncapped: measure demand
+        Session session(std::move(g), cfg, makeNoOpPolicy());
+        SessionResult res = session.run(2);
+        if (res.oom) {
+            std::cerr << "unexpected OOM: " << res.oomMessage << "\n";
+            return 1;
+        }
+
+        const auto &it = res.last();
+        std::uint64_t act_peak =
+            it.peakGpuBytes - res.graphStats.weightBytes;
+        table.addRow({modelName(row.kind), cellInt(batch),
+                      cellInt(static_cast<std::int64_t>(
+                          res.graphStats.opCount)),
+                      cellInt(static_cast<std::int64_t>(
+                          res.graphStats.tensorCount)),
+                      formatBytes(res.graphStats.weightBytes),
+                      formatBytes(act_peak), formatTicks(it.duration()),
+                      cellDouble(it.throughput(batch), 1)});
+    }
+
+    std::cout << "Model survey (simulated P100, uncapped memory, "
+                 "TF-original policy)\n\n";
+    table.print(std::cout);
+    std::cout << "\nA batch fits a 16 GB card when weights + act peak + "
+                 "workspace < 15 GiB.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+#include "core/access_tracker.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace capu
+{
+
+void
+AccessTracker::reset()
+{
+    seq_.clear();
+    perTensor_.clear();
+    opTimes_.clear();
+}
+
+void
+AccessTracker::record(const AccessRecord &rec)
+{
+    seq_.push_back(rec);
+    perTensor_[rec.tensor].push_back(rec);
+    if (rec.op != kInvalidOp) {
+        OpTimes &ot = opTimes_[rec.op];
+        if (rec.isOutput) {
+            ot.lastOutput = std::max(ot.lastOutput, rec.time);
+            ot.haveOutput = true;
+        } else {
+            ot.firstInput = ot.haveInput
+                                ? std::min(ot.firstInput, rec.time)
+                                : rec.time;
+            ot.haveInput = true;
+        }
+    }
+}
+
+const std::vector<AccessRecord> &
+AccessTracker::accessesOf(TensorId id) const
+{
+    static const std::vector<AccessRecord> empty;
+    auto it = perTensor_.find(id);
+    return it == perTensor_.end() ? empty : it->second;
+}
+
+Tick
+AccessTracker::opDuration(OpId op) const
+{
+    auto it = opTimes_.find(op);
+    if (it == opTimes_.end() || !it->second.haveOutput)
+        return 0;
+    Tick start = it->second.haveInput ? it->second.firstInput
+                                      : it->second.lastOutput;
+    return it->second.lastOutput > start ? it->second.lastOutput - start : 0;
+}
+
+bool
+AccessTracker::hasOpDuration(OpId op) const
+{
+    auto it = opTimes_.find(op);
+    return it != opTimes_.end() && it->second.haveOutput;
+}
+
+PeakWindow
+AccessTracker::peakWindow(
+    const std::function<std::uint64_t(TensorId)> &bytes,
+    std::uint64_t threshold) const
+{
+    // Sweep +size at first access, -size just after last access.
+    std::map<Tick, std::int64_t> deltas;
+    for (const auto &[tid, recs] : perTensor_) {
+        std::uint64_t b = bytes(tid);
+        if (b == 0 || recs.empty())
+            continue;
+        deltas[recs.front().time] += static_cast<std::int64_t>(b);
+        deltas[recs.back().time + 1] -= static_cast<std::int64_t>(b);
+    }
+    PeakWindow win;
+    std::int64_t usage = 0;
+    bool above = false;
+    for (const auto &[t, d] : deltas) {
+        usage += d;
+        win.peakBytes = std::max(win.peakBytes,
+                                 static_cast<std::uint64_t>(
+                                     std::max<std::int64_t>(usage, 0)));
+        bool now_above = usage > static_cast<std::int64_t>(threshold);
+        if (now_above && !above) {
+            if (!win.valid) {
+                win.valid = true;
+                win.lo = t;
+            }
+            above = true;
+        } else if (!now_above && above) {
+            win.hi = t; // extend to the last crossing (union span)
+            above = false;
+        }
+    }
+    return win;
+}
+
+std::uint64_t
+AccessTracker::hypotheticalPeak(
+    const std::function<std::uint64_t(TensorId)> &bytes) const
+{
+    return peakWindow(bytes, ~0ull >> 1).peakBytes;
+}
+
+} // namespace capu

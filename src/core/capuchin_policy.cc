@@ -1,0 +1,350 @@
+#include "core/capuchin_policy.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+CapuchinPolicy::CapuchinPolicy(CapuchinOptions opts) : opts_(opts)
+{
+}
+
+void
+CapuchinPolicy::beginIteration(ExecContext &ctx)
+{
+    if (ctx.iteration() == 0) {
+        measured_ = true;
+        tracker_.reset();
+        measuredEvicted_ = 0;
+        return;
+    }
+    measured_ = false;
+    if (!planBuilt_ || planFromPartial_) {
+        planFromPartial_ = false;
+        buildPlan(ctx);
+    }
+}
+
+void
+CapuchinPolicy::buildPlan(ExecContext &ctx)
+{
+    PolicyMakerOptions pm_opts;
+    pm_opts.enableSwap = opts_.enableSwap;
+    pm_opts.enableRecompute = opts_.enableRecompute;
+    pm_opts.minTensorBytes = opts_.minTensorBytes;
+    PolicyMaker maker(ctx.graph(), tracker_, pm_opts);
+
+    auto target = static_cast<std::uint64_t>(
+        static_cast<double>(measuredEvicted_) * opts_.savingMargin +
+        static_cast<double>(targetBoost_));
+    plan_ = maker.build(
+        target, [&](TensorId id) { return ctx.tensorBytes(id); },
+        [&](std::uint64_t bytes) { return ctx.swapTime(bytes); },
+        ctx.gpuCapacity());
+
+    rebuildTriggerMaps();
+    planBuilt_ = true;
+    inform("capuchin {}", plan_.summary());
+}
+
+void
+CapuchinPolicy::rebuildTriggerMaps()
+{
+    evictTriggers_.clear();
+    prefetchTriggers_.clear();
+    itemOf_.clear();
+    for (std::size_t i = 0; i < plan_.items.size(); ++i) {
+        const PlannedEviction &item = plan_.items[i];
+        evictTriggers_[key(item.tensor, item.evictAfterAccess)] = i;
+        itemOf_[item.tensor] = i;
+        if (item.mode == RegenChoice::Swap &&
+            item.triggerTensor != kInvalidTensor) {
+            prefetchTriggers_[key(item.triggerTensor, item.triggerAccess)]
+                .push_back(i);
+        }
+    }
+    triggersDirty_ = false;
+}
+
+void
+CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
+{
+    if (measured_) {
+        AccessRecord rec;
+        rec.tensor = event.tensor;
+        rec.accessIndex = event.accessIndex;
+        // Correct to the infinite-memory timeline: remove the on-demand
+        // swapping stalls accumulated so far this iteration (§5.2).
+        Tick stall = ctx.memStallSoFar();
+        rec.time = event.when > stall ? event.when - stall : 0;
+        rec.isOutput = event.isOutput;
+        rec.op = event.op;
+        tracker_.record(rec);
+        if (!planBuilt_)
+            return;
+        // A partial plan from an aborted measured attempt keeps guiding
+        // while the trace is re-recorded (fall through to the triggers).
+    }
+
+    // Guided execution: fire the plan's triggers for this exact access.
+    auto k = key(event.tensor, event.accessIndex);
+
+    auto pf = opts_.enablePrefetch ? prefetchTriggers_.find(k)
+                                   : prefetchTriggers_.end();
+    if (pf != prefetchTriggers_.end()) {
+        for (std::size_t idx : pf->second)
+            ctx.prefetchAsync(plan_.items[idx].tensor);
+    }
+
+    auto ev = evictTriggers_.find(k);
+    if (ev != evictTriggers_.end()) {
+        const PlannedEviction &item = plan_.items[ev->second];
+        if (item.mode == RegenChoice::Swap)
+            ctx.evictSwapAsync(item.tensor);
+        else
+            ctx.evictDrop(item.tensor);
+    }
+}
+
+bool
+CapuchinPolicy::onAllocFailure(ExecContext &ctx, std::uint64_t bytes)
+{
+    // Passive mode (measured execution, and safety net while guided).
+    bool freed = passiveEvict(ctx, bytes);
+    return freed;
+}
+
+bool
+CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
+{
+    std::uint64_t freed = 0;
+    bool any = false;
+    // Only the evictions needed to satisfy this request feed the plan's
+    // memory-saving target; the measured-mode headroom evictions beyond
+    // that point are placement insurance, not demand.
+    auto minimally_satisfied = [&] {
+        return ctx.canAllocateNow(bytes) || freed >= bytes + bytes / 2;
+    };
+    auto account = [&](std::uint64_t evicted_bytes, bool necessary) {
+        freed += evicted_bytes;
+        any = true;
+        if (!necessary)
+            return;
+        if (measured_)
+            measuredEvicted_ += evicted_bytes;
+        else
+            guidedPassiveBytes_ += evicted_bytes;
+    };
+    auto satisfied = [&] {
+        if (measured_) {
+            // Measured execution runs at the feasibility edge: evict
+            // beyond the immediate request (3x headroom) so the next few
+            // giant allocations find contiguous space instead of facing a
+            // freshly re-packed arena.
+            return ctx.canAllocateNow(bytes) && freed >= 3 * bytes;
+        }
+        // Guided execution: passive mode is only a safety net; evict the
+        // minimum (a contiguous chunk, or enough queued swap-outs that
+        // the caller's wait loop will succeed).
+        return ctx.canAllocateNow(bytes) || freed >= bytes + bytes / 2;
+    };
+
+    // Dispose of a victim by the cheapest correct means: tensors the plan
+    // regenerates by recomputation are simply re-dropped (no transfer, no
+    // later swap-in stall); everything else is synchronously swapped.
+    auto evict_victim = [&](TensorId id) {
+        if (planBuilt_) {
+            auto it = itemOf_.find(id);
+            if (it != itemOf_.end() &&
+                plan_.items[it->second].mode == RegenChoice::Recompute &&
+                ctx.accessCount(id) >=
+                    plan_.items[it->second].evictAfterAccess &&
+                ctx.status(id) == TensorStatus::In && !ctx.isPinned(id)) {
+                // Past its planned eviction point: this is a collectively
+                // retained rematerialization — re-dropping costs nothing.
+                ctx.evictDrop(id);
+                return true;
+            }
+        }
+        return ctx.evictSwapSync(id);
+    };
+
+    // Targeted eviction first: free the cheapest set of tensors that
+    // merges with adjacent free space into a contiguous chunk of the
+    // requested size (fragmentation, not total free bytes, is what blocks
+    // large allocations under eviction churn).
+    for (TensorId id : ctx.victimsForContiguous(bytes)) {
+        bool necessary = !minimally_satisfied();
+        if (evict_victim(id))
+            account(ctx.tensorBytes(id), necessary);
+    }
+    if (any)
+        return true;
+
+    // Cheapest first: re-drop tensors the plan regenerates by recompute
+    // anyway (kept alive opportunistically by collective recomputation).
+    if (planBuilt_) {
+        for (const auto &item : plan_.items) {
+            if (satisfied())
+                break;
+            if (item.mode != RegenChoice::Recompute)
+                continue;
+            if (ctx.status(item.tensor) != TensorStatus::In ||
+                ctx.isPinned(item.tensor))
+                continue;
+            ctx.evictDrop(item.tensor);
+            freed += ctx.tensorBytes(item.tensor);
+            any = true;
+        }
+    }
+
+    // Victims from the beginning of the access list: the earliest-accessed
+    // resident feature maps (their reuse lies deepest in the backward
+    // pass). During the very first ops of measured execution the list may
+    // be short; fall back to scanning all tensors in id order.
+    std::unordered_set<TensorId> tried;
+    auto try_evict = [&](TensorId id) {
+        if (!tried.insert(id).second)
+            return;
+        const TensorDesc &t = ctx.graph().tensor(id);
+        // Passive mode may evict any non-persistent tensor in the access
+        // list — including gradients (their reuse point may be far away,
+        // e.g. weight gradients waiting for the update phase).
+        if (t.kind != TensorKind::FeatureMap &&
+            t.kind != TensorKind::Gradient)
+            return;
+        if (ctx.tensorBytes(id) < opts_.minTensorBytes)
+            return;
+        if (ctx.isPinned(id) || ctx.status(id) != TensorStatus::In)
+            return;
+        bool necessary = !minimally_satisfied();
+        if (evict_victim(id))
+            account(ctx.tensorBytes(id), necessary);
+    };
+
+    for (const auto &rec : tracker_.sequence()) {
+        if (satisfied())
+            break;
+        try_evict(rec.tensor);
+    }
+    if (!satisfied()) {
+        for (TensorId id = 0; id < ctx.graph().numTensors(); ++id) {
+            if (satisfied())
+                break;
+            try_evict(id);
+        }
+    }
+    return any;
+}
+
+void
+CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
+{
+    (void)ctx;
+    if (measured_ || !opts_.enableFeedback || stall == 0)
+        return;
+    auto it = itemOf_.find(id);
+    if (it == itemOf_.end())
+        return;
+    PlannedEviction &item = plan_.items[it->second];
+    if (item.mode != RegenChoice::Swap)
+        return;
+    // The tensor was still SWAPPING_IN (or absent) at its back-access:
+    // shift the in-trigger earlier by feedbackStep x SwapTime (§4.4).
+    auto shift = static_cast<Tick>(
+        static_cast<double>(item.swapTime) * opts_.feedbackStep);
+    shift = std::max<Tick>(shift, 1);
+    item.desiredSwapInStart =
+        item.desiredSwapInStart > shift ? item.desiredSwapInStart - shift
+                                        : 0;
+    triggersDirty_ = true;
+    ++feedbackAdjustments_;
+}
+
+void
+CapuchinPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
+{
+    (void)stats;
+    if (measured_)
+        return;
+
+    // Iterative refinement: the plan's saving target came from passive
+    // mode's eviction total, which underestimates the demand of the
+    // plan-shaped timeline (proactive evictions fire later than passive
+    // ones did). If this iteration still fell back to passive evictions,
+    // fold those bytes into the target and rebuild — hill-climbing on the
+    // residual passive traffic, keeping the best plan seen so far.
+    if (!refinementFrozen_) {
+        if (guidedPassiveBytes_ < bestPassiveBytes_) {
+            bestPassiveBytes_ = guidedPassiveBytes_;
+            bestPlan_ = plan_;
+        }
+        bool coverage_exhausted =
+            plan_.plannedBytes + (64ull << 20) < plan_.targetBytes;
+        if (guidedPassiveBytes_ == 0 || replans_ >= opts_.maxReplans ||
+            coverage_exhausted) {
+            // Converged (or no further coverage available): settle on the
+            // best plan observed.
+            refinementFrozen_ = true;
+            if (bestPassiveBytes_ != ~0ull && guidedPassiveBytes_ > 0) {
+                plan_ = bestPlan_;
+                rebuildTriggerMaps();
+            }
+            guidedPassiveBytes_ = 0;
+        } else {
+            targetBoost_ += guidedPassiveBytes_;
+            guidedPassiveBytes_ = 0;
+            ++replans_;
+            buildPlan(ctx);
+            return;
+        }
+    }
+    guidedPassiveBytes_ = 0;
+
+    if (!triggersDirty_)
+        return;
+    // Re-pick trigger accesses for the adjusted desired times.
+    PolicyMaker maker(ctx.graph(), tracker_, PolicyMakerOptions{});
+    for (auto &item : plan_.items) {
+        if (item.mode == RegenChoice::Swap)
+            maker.repickTrigger(item);
+    }
+    rebuildTriggerMaps();
+}
+
+bool
+CapuchinPolicy::onIterationAbort(ExecContext &ctx)
+{
+    if (measured_) {
+        // Measured execution died at the feasibility edge. Learn from the
+        // partial access trace: build a (partial) plan whose proactive
+        // evictions relieve the next attempt, letting the trace extend
+        // further each retry until one measured pass completes.
+        if (tracker_.empty())
+            return false;
+        buildPlan(ctx);
+        planFromPartial_ = true;
+        return true;
+    }
+    // Guided execution died: grow the saving target past what passive
+    // mode managed to free and rebuild, while refinement budget remains.
+    if (replans_ >= opts_.maxReplans)
+        return false;
+    targetBoost_ += guidedPassiveBytes_ + (512ull << 20);
+    guidedPassiveBytes_ = 0;
+    ++replans_;
+    refinementFrozen_ = false;
+    buildPlan(ctx);
+    return true;
+}
+
+std::unique_ptr<MemoryPolicy>
+makeCapuchinPolicy(CapuchinOptions opts)
+{
+    return std::make_unique<CapuchinPolicy>(opts);
+}
+
+} // namespace capu

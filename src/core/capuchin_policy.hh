@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Capuchin — the paper's memory management module, as a MemoryPolicy.
+ *
+ * Iteration 0 is the *measured execution*: the policy runs in passive mode
+ * (on-demand synchronous swapping on allocation failure, victims taken from
+ * the beginning of the tensor access list) while the Tensor Access Tracker
+ * records the corrected access sequence. The total size of passively
+ * evicted tensors becomes the memory-saving target.
+ *
+ * From iteration 1 on (*guided execution*) the PolicyMaker's plan drives
+ * proactive eviction at each item's evicted-access, prefetch at its
+ * in-trigger, and recomputation on back-access; the feedback loop shifts
+ * in-triggers earlier by `feedbackStep` x SwapTime whenever a back-access
+ * still observes SWAPPING_IN. Passive mode stays armed as a safety net.
+ *
+ * The policy is computation-graph agnostic in the paper's sense: decisions
+ * derive from the observed access sequence; lineage is supplied by the
+ * framework's runtime record of which op produced which tensor (here:
+ * ExecContext::graph()).
+ */
+
+#ifndef CAPU_CORE_CAPUCHIN_POLICY_HH
+#define CAPU_CORE_CAPUCHIN_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/access_tracker.hh"
+#include "core/policy_maker.hh"
+#include "exec/memory_policy.hh"
+
+namespace capu
+{
+
+struct CapuchinOptions
+{
+    /** Allow swap in the plan (off = recompute-only, Fig. 8b). */
+    bool enableSwap = true;
+    /** Allow recomputation in the plan (off = swap-only, Fig. 8a). */
+    bool enableRecompute = true;
+    /** Feedback-driven in-trigger adjustment (FA in Fig. 8a). */
+    bool enableFeedback = true;
+    /** Prefetch swapped tensors at their in-trigger (off = on-demand). */
+    bool enablePrefetch = true;
+    /** In-trigger shift per feedback event, as fraction of SwapTime. */
+    double feedbackStep = 0.05;
+    /** Ignore tensors below this size. */
+    std::uint64_t minTensorBytes = 1ull << 20;
+    /** Plan this much beyond the measured eviction total (headroom). */
+    double savingMargin = 1.05;
+    /**
+     * Iterative refinement: when a guided iteration still needed passive
+     * evictions, grow the saving target by those bytes and rebuild the
+     * plan, up to this many times (the paper: "refined iteratively from
+     * runtime feedbacks", stable "usually within 50 iterations").
+     */
+    int maxReplans = 20;
+};
+
+class CapuchinPolicy : public MemoryPolicy
+{
+  public:
+    explicit CapuchinPolicy(CapuchinOptions opts = {});
+
+    std::string name() const override { return "Capuchin"; }
+    bool graphAgnostic() const override { return true; }
+
+    void beginIteration(ExecContext &ctx) override;
+    void onAccess(ExecContext &ctx, const AccessEvent &event) override;
+    bool onAllocFailure(ExecContext &ctx, std::uint64_t bytes) override;
+    void onBackAccessStall(ExecContext &ctx, TensorId id,
+                           Tick stall) override;
+    void endIteration(ExecContext &ctx, const IterationStats &stats) override;
+    bool onIterationAbort(ExecContext &ctx) override;
+
+    // --- introspection ---
+    const AccessTracker &tracker() const { return tracker_; }
+    const Plan &plan() const { return plan_; }
+    bool planBuilt() const { return planBuilt_; }
+    std::uint64_t measuredEvictedBytes() const { return measuredEvicted_; }
+    int feedbackAdjustments() const { return feedbackAdjustments_; }
+
+  private:
+    CapuchinOptions opts_;
+    AccessTracker tracker_;
+    Plan plan_;
+    bool measured_ = true;
+    bool planBuilt_ = false;
+    bool planFromPartial_ = false;
+    bool triggersDirty_ = false;
+    std::uint64_t measuredEvicted_ = 0;
+    std::uint64_t targetBoost_ = 0;
+    std::uint64_t guidedPassiveBytes_ = 0;
+    std::uint64_t bestPassiveBytes_ = ~0ull;
+    Plan bestPlan_;
+    bool refinementFrozen_ = false;
+    int replans_ = 0;
+    int feedbackAdjustments_ = 0;
+
+    /** (tensor, accessIndex) keys -> plan item indices. */
+    std::unordered_map<std::uint64_t, std::size_t> evictTriggers_;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+        prefetchTriggers_;
+    std::unordered_map<TensorId, std::size_t> itemOf_;
+
+    static std::uint64_t
+    key(TensorId tensor, int access_index)
+    {
+        return (static_cast<std::uint64_t>(tensor) << 32) |
+               static_cast<std::uint32_t>(access_index);
+    }
+
+    void buildPlan(ExecContext &ctx);
+    void rebuildTriggerMaps();
+    bool passiveEvict(ExecContext &ctx, std::uint64_t bytes);
+};
+
+std::unique_ptr<MemoryPolicy> makeCapuchinPolicy(CapuchinOptions opts = {});
+
+} // namespace capu
+
+#endif // CAPU_CORE_CAPUCHIN_POLICY_HH

@@ -1,0 +1,446 @@
+#include "core/policy_maker.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/strfmt.hh"
+
+namespace capu
+{
+
+const PlannedEviction *
+Plan::find(TensorId id) const
+{
+    for (const auto &item : items) {
+        if (item.tensor == id)
+            return &item;
+    }
+    return nullptr;
+}
+
+std::string
+Plan::summary() const
+{
+    return fmt("plan: {} items ({} swap, {} recompute), {} planned of {} "
+               "target",
+               items.size(), swapCount, recomputeCount,
+               formatBytes(plannedBytes), formatBytes(targetBytes));
+}
+
+PolicyMaker::PolicyMaker(const Graph &graph, const AccessTracker &tracker,
+                         PolicyMakerOptions opts)
+    : graph_(graph), tracker_(tracker), opts_(opts)
+{
+}
+
+std::vector<PolicyMaker::Candidate>
+PolicyMaker::gatherCandidates(const BytesFn &tensor_bytes,
+                              const SwapTimeFn &swap_time,
+                              const PeakWindow &peak) const
+{
+    std::vector<Candidate> cands;
+    for (const auto &t : graph_.tensors()) {
+        if (t.kind != TensorKind::FeatureMap)
+            continue;
+        std::uint64_t bytes = tensor_bytes(t.id);
+        if (bytes < opts_.minTensorBytes)
+            continue;
+        const auto &recs = tracker_.accessesOf(t.id);
+        if (recs.size() < 2)
+            continue;
+        // Candidate only if alive somewhere inside the peak window.
+        if (peak.valid &&
+            (recs.back().time < peak.lo || recs.front().time > peak.hi))
+            continue;
+
+        Candidate c;
+        c.tensor = t.id;
+        c.bytes = bytes;
+        c.swapTime = swap_time(bytes);
+
+        Tick best_interval = 0;
+        for (std::size_t i = 0; i + 1 < recs.size(); ++i) {
+            Tick interval = recs[i + 1].time - recs[i].time;
+            if (interval >= best_interval) {
+                best_interval = interval;
+                c.evictAfterAccess = recs[i].accessIndex;
+                c.backAccess = recs[i + 1].accessIndex;
+                c.evictTime = recs[i].time;
+                c.backTime = recs[i + 1].time;
+            }
+        }
+        // FT = SwapInStart - SwapOutEnd
+        //    = (back - SwapTime) - (evict + SwapTime)       (Eq. 1)
+        // Clamped at zero; the negative part ("exposure") is recomputed at
+        // selection time from the pair interval and the round-trip time.
+        std::int64_t ft = static_cast<std::int64_t>(c.backTime) -
+                          static_cast<std::int64_t>(c.evictTime) -
+                          static_cast<std::int64_t>(2 * c.swapTime);
+        c.freeTime = static_cast<Tick>(std::max<std::int64_t>(ft, 0));
+        c.rpTime = 0;
+        c.extTime = 0;
+        cands.push_back(std::move(c));
+    }
+    return cands;
+}
+
+void
+PolicyMaker::initRecomputeState(Candidate &cand,
+                                const std::vector<Candidate> &all) const
+{
+    std::unordered_set<TensorId> cand_set;
+    for (const auto &c : all)
+        cand_set.insert(c.tensor);
+
+    std::unordered_set<OpId> visited_ops;
+    std::unordered_set<TensorId> visited_tensors;
+    bool feasible = true;
+    Tick rp_time = 0;
+    std::vector<TensorId> srcs;
+
+    std::vector<TensorId> stack;
+    auto expand_op = [&](OpId op_id) {
+        visited_ops.insert(op_id);
+        rp_time += tracker_.opDuration(op_id);
+        for (TensorId in : graph_.op(op_id).inputs)
+            stack.push_back(in);
+    };
+
+    OpId root = graph_.tensor(cand.tensor).producer;
+    if (root == kInvalidOp || !graph_.op(root).recomputable ||
+        !tracker_.hasOpDuration(root)) {
+        cand.rpTime = 0;
+        cand.srcs.clear();
+        cand.extTime = 0;
+        // Mark infeasible with a sentinel: empty srcs + zero rpTime means
+        // "never recomputable" and is filtered at selection time.
+        return;
+    }
+    expand_op(root);
+
+    while (!stack.empty() && feasible) {
+        TensorId x = stack.back();
+        stack.pop_back();
+        if (visited_tensors.count(x))
+            continue;
+        visited_tensors.insert(x);
+
+        const TensorDesc &t = graph_.tensor(x);
+        if (t.kind == TensorKind::Weight) {
+            srcs.push_back(x);
+            continue;
+        }
+        const auto &recs = tracker_.accessesOf(x);
+        bool alive_at_back =
+            !recs.empty() && recs.back().time > cand.backTime;
+        if (alive_at_back || cand_set.count(x)) {
+            // Alive when the recompute fires, or an eviction candidate
+            // (assumed in GPU per §4.4 — Algorithm 2 repairs this later).
+            srcs.push_back(x);
+            continue;
+        }
+        OpId prod = t.producer;
+        if (prod == kInvalidOp || !graph_.op(prod).recomputable ||
+            !tracker_.hasOpDuration(prod)) {
+            feasible = false;
+            break;
+        }
+        if (!visited_ops.count(prod))
+            expand_op(prod);
+    }
+
+    if (!feasible) {
+        cand.rpTime = 0;
+        cand.srcs.clear();
+    } else {
+        std::sort(srcs.begin(), srcs.end());
+        srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+        cand.srcs = std::move(srcs);
+        cand.rpTime = std::max<Tick>(rp_time, 1);
+    }
+    cand.extTime = 0;
+}
+
+void
+PolicyMaker::chooseInTrigger(PlannedEviction &item,
+                             const PeakWindow &peak) const
+{
+    Tick desired = item.backTime > item.swapTime
+                       ? item.backTime - item.swapTime
+                       : 0;
+    // Do not start the fetch inside the oversubscribed window if the
+    // back-access itself lies beyond it (§4.4).
+    if (peak.valid && desired >= peak.lo && desired <= peak.hi &&
+        item.backTime > peak.hi) {
+        desired = peak.hi;
+    }
+    item.desiredSwapInStart = desired;
+    repickTrigger(item);
+}
+
+bool
+PolicyMaker::repickTrigger(PlannedEviction &item) const
+{
+    const AccessRecord *best = nullptr;
+    const AccessRecord *earliest_after = nullptr;
+    for (const auto &rec : tracker_.sequence()) {
+        if (rec.time <= item.evictTime)
+            continue;
+        if (rec.tensor == item.tensor)
+            continue;
+        if (!earliest_after || rec.time < earliest_after->time)
+            earliest_after = &rec;
+        if (rec.time <= item.desiredSwapInStart) {
+            if (!best || rec.time > best->time)
+                best = &rec;
+        }
+    }
+    if (!best)
+        best = earliest_after; // fire as early as possible
+    if (!best)
+        return false;
+    item.triggerTensor = best->tensor;
+    item.triggerAccess = best->accessIndex;
+    return true;
+}
+
+Plan
+PolicyMaker::build(std::uint64_t mem_saving_target,
+                   const BytesFn &tensor_bytes, const SwapTimeFn &swap_time,
+                   std::uint64_t gpu_capacity)
+{
+    Plan plan;
+    plan.targetBytes = mem_saving_target;
+    if (mem_saving_target == 0 || tracker_.empty())
+        return plan;
+
+    // Peak window of the hypothetical (infinite-memory) usage curve; the
+    // curve covers non-weight tensors, so compare against the capacity
+    // left after the persistent weights.
+    std::uint64_t weight_bytes = graph_.bytesOfKind(TensorKind::Weight);
+    std::uint64_t threshold =
+        gpu_capacity > weight_bytes ? gpu_capacity - weight_bytes : 0;
+    auto curve_bytes = [&](TensorId id) -> std::uint64_t {
+        return graph_.tensor(id).kind == TensorKind::Weight
+                   ? 0
+                   : tensor_bytes(id);
+    };
+    plan.peak = tracker_.peakWindow(curve_bytes, threshold);
+
+    std::vector<Candidate> cands =
+        gatherCandidates(tensor_bytes, swap_time, plan.peak);
+    if (opts_.enableRecompute) {
+        for (auto &c : cands)
+            initRecomputeState(c, cands);
+    }
+
+    struct Recomp
+    {
+        TensorId tensor;
+        std::vector<TensorId> srcs;
+        Tick rpTime;
+    };
+    std::vector<Recomp> recomps;
+
+    // Pinned transfers serialize per PCIe direction (§4.4): "a swap cannot
+    // start until its preceding swap finishes". A candidate's achievable
+    // overlap therefore shrinks as already-chosen swaps occupy the lanes.
+    // We model each lane as a FIFO over the chosen transfers — swap-outs
+    // anchored at their evicted-access, swap-ins at backTime - SwapTime —
+    // and charge each candidate the queueing delay it would experience.
+    // Once a lane saturates the delay exceeds any recomputation cost and
+    // Algorithm 1 flips to recompute.
+    struct Xfer
+    {
+        Tick anchor;
+        Tick dur;
+        bool operator<(const Xfer &o) const { return anchor < o.anchor; }
+    };
+    std::vector<Xfer> chosen_out, chosen_in;
+
+    // Marginal queueing cost of adding `probe` to a lane: the growth in
+    // total (start - anchor) waiting across ALL transfers, not just the
+    // probe's own wait — an early-anchored transfer that pushes every
+    // later one back by its duration is charged for that damage.
+    auto lane_wait = [](const std::vector<Xfer> &lane) -> Tick {
+        Tick busy = 0;
+        Tick total = 0;
+        for (const auto &x : lane) {
+            Tick start = std::max(x.anchor, busy);
+            total += start - x.anchor;
+            busy = start + x.dur;
+        }
+        return total;
+    };
+    auto queue_delay = [&](std::vector<Xfer> lane, Xfer probe) -> Tick {
+        std::sort(lane.begin(), lane.end());
+        Tick before = lane_wait(lane);
+        lane.push_back(probe);
+        std::sort(lane.begin(), lane.end());
+        return lane_wait(lane) - before;
+    };
+
+    auto exposure = [&](const Candidate &c) -> Tick {
+        Tick interval = c.backTime - c.evictTime;
+        Tick round_trip = 2 * c.swapTime;
+        Tick exposed = round_trip > interval ? round_trip - interval : 0;
+        exposed += queue_delay(chosen_out, Xfer{c.evictTime, c.swapTime});
+        Tick in_anchor = c.backTime > c.swapTime ? c.backTime - c.swapTime
+                                                 : 0;
+        exposed += queue_delay(chosen_in, Xfer{in_anchor, c.swapTime});
+        return exposed;
+    };
+    auto contains = [](const std::vector<TensorId> &v, TensorId t) {
+        return std::find(v.begin(), v.end(), t) != v.end();
+    };
+    auto can_recompute = [](const Candidate &c) {
+        return c.rpTime > 0;
+    };
+
+    std::int64_t saving = static_cast<std::int64_t>(mem_saving_target);
+
+    auto emit_swap = [&](std::size_t idx) {
+        Candidate c = cands[idx];
+        cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(idx));
+        PlannedEviction item;
+        item.tensor = c.tensor;
+        item.mode = RegenChoice::Swap;
+        item.bytes = c.bytes;
+        item.evictAfterAccess = c.evictAfterAccess;
+        item.backAccess = c.backAccess;
+        item.evictTime = c.evictTime;
+        item.backTime = c.backTime;
+        item.swapTime = c.swapTime;
+        item.freeTime = c.freeTime;
+        item.estimatedOverhead = exposure(c);
+        chooseInTrigger(item, plan.peak);
+        plan.items.push_back(item);
+        ++plan.swapCount;
+        plan.plannedBytes += c.bytes;
+        chosen_out.push_back(Xfer{c.evictTime, c.swapTime});
+        chosen_in.push_back(
+            Xfer{c.backTime > c.swapTime ? c.backTime - c.swapTime : 0,
+                 c.swapTime});
+        saving -= static_cast<std::int64_t>(c.bytes);
+    };
+
+    auto emit_recompute = [&](std::size_t idx) {
+        Candidate c = cands[idx];
+        cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(idx));
+
+        // Algorithm 2, lines 5-12: targets whose source set contained the
+        // newly chosen tensor now start from its sources instead, and the
+        // shared prefix is replayed once more per such target.
+        int ext_ct = 1;
+        for (auto &rp : recomps) {
+            if (contains(rp.srcs, c.tensor)) {
+                rp.srcs.erase(
+                    std::remove(rp.srcs.begin(), rp.srcs.end(), c.tensor),
+                    rp.srcs.end());
+                for (TensorId s : c.srcs) {
+                    if (!contains(rp.srcs, s))
+                        rp.srcs.push_back(s);
+                }
+                ++ext_ct;
+            }
+        }
+        recomps.push_back(Recomp{c.tensor, c.srcs, c.rpTime});
+
+        // Algorithm 2, lines 17-34: update the remaining candidates.
+        for (auto &cand : cands) {
+            if (!can_recompute(cand))
+                continue;
+            if (contains(cand.srcs, c.tensor)) {
+                cand.srcs.erase(std::remove(cand.srcs.begin(),
+                                            cand.srcs.end(), c.tensor),
+                                cand.srcs.end());
+                for (TensorId s : c.srcs) {
+                    if (!contains(cand.srcs, s))
+                        cand.srcs.push_back(s);
+                }
+                cand.rpTime += c.rpTime;
+                cand.extTime = 0;
+                for (const auto &rp : recomps) {
+                    if (contains(rp.srcs, cand.tensor))
+                        cand.extTime += cand.rpTime;
+                }
+            }
+            if (contains(c.srcs, cand.tensor)) {
+                cand.extTime =
+                    static_cast<Tick>(ext_ct) * cand.rpTime;
+            }
+        }
+
+        PlannedEviction item;
+        item.tensor = c.tensor;
+        item.mode = RegenChoice::Recompute;
+        item.bytes = c.bytes;
+        item.evictAfterAccess = c.evictAfterAccess;
+        item.backAccess = c.backAccess;
+        item.evictTime = c.evictTime;
+        item.backTime = c.backTime;
+        item.recomputeTime = c.rpTime + c.extTime;
+        item.estimatedOverhead = item.recomputeTime;
+        plan.items.push_back(item);
+        ++plan.recomputeCount;
+        plan.plannedBytes += c.bytes;
+        saving -= static_cast<std::int64_t>(c.bytes);
+    };
+
+    while (saving > 0 && !cands.empty()) {
+        // Best swap: maximal FT, i.e. minimal exposure.
+        std::size_t s_idx = cands.size();
+        if (opts_.enableSwap) {
+            for (std::size_t i = 0; i < cands.size(); ++i) {
+                if (s_idx == cands.size() ||
+                    exposure(cands[i]) < exposure(cands[s_idx]) ||
+                    (exposure(cands[i]) == exposure(cands[s_idx]) &&
+                     cands[i].freeTime > cands[s_idx].freeTime)) {
+                    s_idx = i;
+                }
+            }
+        }
+        if (s_idx < cands.size() && exposure(cands[s_idx]) == 0) {
+            emit_swap(s_idx); // fully hidden: swap is free (§4.5)
+            continue;
+        }
+
+        std::size_t r_idx = cands.size();
+        if (opts_.enableRecompute) {
+            for (std::size_t i = 0; i < cands.size(); ++i) {
+                if (!can_recompute(cands[i]))
+                    continue;
+                if (r_idx == cands.size() ||
+                    cands[i].msps() > cands[r_idx].msps()) {
+                    r_idx = i;
+                }
+            }
+        }
+
+        bool have_s = s_idx < cands.size();
+        bool have_r = r_idx < cands.size();
+        if (have_s && have_r) {
+            Tick s_over = exposure(cands[s_idx]);
+            Tick r_over = cands[r_idx].rpTime + cands[r_idx].extTime;
+            if (s_over <= r_over)
+                emit_swap(s_idx);
+            else
+                emit_recompute(r_idx);
+        } else if (have_s) {
+            emit_swap(s_idx);
+        } else if (have_r) {
+            emit_recompute(r_idx);
+        } else {
+            break; // nothing actionable left
+        }
+    }
+
+    if (saving > 0) {
+        warn("policy maker covered {} of {} saving target",
+             formatBytes(plan.plannedBytes), formatBytes(plan.targetBytes));
+    }
+    return plan;
+}
+
+} // namespace capu

@@ -1,0 +1,168 @@
+#include "core/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "# capuchin-trace v1";
+
+TensorKind
+kindFromName(const std::string &name)
+{
+    if (name == "feature")
+        return TensorKind::FeatureMap;
+    if (name == "weight")
+        return TensorKind::Weight;
+    if (name == "gradient")
+        return TensorKind::Gradient;
+    if (name == "workspace")
+        return TensorKind::Workspace;
+    fatal("unknown tensor kind '{}' in trace", name);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cell;
+    for (char c : line) {
+        if (c == ',') {
+            out.push_back(cell);
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    out.push_back(cell);
+    return out;
+}
+
+} // namespace
+
+AccessTracker
+TensorTrace::toTracker() const
+{
+    AccessTracker tracker;
+    for (const AccessRecord &rec : records)
+        tracker.record(rec);
+    return tracker;
+}
+
+TensorTrace
+captureTrace(const AccessTracker &tracker, const Graph &graph)
+{
+    TensorTrace trace;
+    std::vector<bool> seen(graph.numTensors(), false);
+    for (const AccessRecord &rec : tracker.sequence()) {
+        trace.records.push_back(rec);
+        if (rec.tensor < seen.size() && !seen[rec.tensor]) {
+            seen[rec.tensor] = true;
+            const TensorDesc &t = graph.tensor(rec.tensor);
+            trace.tensors.push_back(
+                TraceTensorInfo{t.id, t.name, t.bytes, t.kind});
+        }
+    }
+    return trace;
+}
+
+void
+writeTrace(std::ostream &os, const TensorTrace &trace)
+{
+    os << kHeader << '\n';
+    os << "tensors " << trace.tensors.size() << '\n';
+    for (const auto &t : trace.tensors) {
+        std::string safe_name = t.name;
+        for (char &c : safe_name) {
+            if (c == ',' || c == '\n')
+                c = '_';
+        }
+        os << t.id << ',' << safe_name << ',' << t.bytes << ','
+           << tensorKindName(t.kind) << '\n';
+    }
+    os << "records " << trace.records.size() << '\n';
+    for (const auto &r : trace.records) {
+        os << r.tensor << ',' << r.accessIndex << ',' << r.time << ','
+           << (r.isOutput ? 1 : 0) << ','
+           << (r.op == kInvalidOp ? -1 : static_cast<long long>(r.op))
+           << '\n';
+    }
+}
+
+TensorTrace
+readTrace(std::istream &is)
+{
+    TensorTrace trace;
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader)
+        fatal("not a capuchin trace (bad header '{}')", line);
+
+    std::string word;
+    std::size_t count = 0;
+    is >> word >> count;
+    if (word != "tensors")
+        fatal("trace missing tensor table");
+    std::getline(is, line); // eat newline
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(is, line))
+            fatal("trace tensor table truncated at row {}", i);
+        auto cells = splitCsv(line);
+        if (cells.size() != 4)
+            fatal("bad tensor row '{}'", line);
+        TraceTensorInfo t;
+        t.id = static_cast<TensorId>(std::stoul(cells[0]));
+        t.name = cells[1];
+        t.bytes = std::stoull(cells[2]);
+        t.kind = kindFromName(cells[3]);
+        trace.tensors.push_back(std::move(t));
+    }
+
+    is >> word >> count;
+    if (word != "records")
+        fatal("trace missing record section");
+    std::getline(is, line);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!std::getline(is, line))
+            fatal("trace records truncated at row {}", i);
+        auto cells = splitCsv(line);
+        if (cells.size() != 5)
+            fatal("bad record row '{}'", line);
+        AccessRecord r;
+        r.tensor = static_cast<TensorId>(std::stoul(cells[0]));
+        r.accessIndex = std::stoi(cells[1]);
+        r.time = std::stoull(cells[2]);
+        r.isOutput = cells[3] == "1";
+        long long op = std::stoll(cells[4]);
+        r.op = op < 0 ? kInvalidOp : static_cast<OpId>(op);
+        trace.records.push_back(r);
+    }
+    return trace;
+}
+
+void
+saveTraceFile(const std::string &path, const TensorTrace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '{}' for writing", path);
+    writeTrace(os, trace);
+    if (!os)
+        fatal("error writing trace to '{}'", path);
+}
+
+TensorTrace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace file '{}'", path);
+    return readTrace(is);
+}
+
+} // namespace capu

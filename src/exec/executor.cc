@@ -1,0 +1,1004 @@
+#include "exec/executor.hh"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace capu
+{
+
+Executor::Executor(const Graph &graph, ExecConfig config,
+                   MemoryPolicy *policy)
+    : graph_(graph), config_(std::move(config)), policy_(policy),
+      cost_(config_.device),
+      mem_(config_.device.memCapacity, config_.hostPoolBytes,
+           config_.allocator),
+      compute_("compute"),
+      pcie_(config_.device.pcieBandwidth, config_.device.pcieLatency)
+{
+    if (config_.eagerMode && policy_ && !policy_->graphAgnostic())
+        fatal("policy '{}' requires a computation graph and cannot run in "
+              "eager mode", policy_->name());
+    compute_.setLogging(config_.recordTimeline);
+    pcie_.lane(CopyDir::DeviceToHost).setLogging(config_.recordTimeline);
+    pcie_.lane(CopyDir::HostToDevice).setLogging(config_.recordTimeline);
+}
+
+TensorState &
+Executor::state(TensorId id)
+{
+    if (id >= states_.size())
+        panic("tensor id {} out of range", id);
+    return states_[id];
+}
+
+const TensorState &
+Executor::state(TensorId id) const
+{
+    if (id >= states_.size())
+        panic("tensor id {} out of range", id);
+    return states_[id];
+}
+
+const TensorState &
+Executor::tensorState(TensorId id) const
+{
+    return state(id);
+}
+
+std::uint64_t
+Executor::allocBytes(TensorId id) const
+{
+    const TensorDesc &t = graph_.tensor(id);
+    if (config_.eagerMode && (t.kind == TensorKind::FeatureMap ||
+                              t.kind == TensorKind::Gradient)) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(t.bytes) * config_.eagerActivationSlack);
+    }
+    return t.bytes;
+}
+
+std::uint64_t
+Executor::wireBytes(std::uint64_t bytes) const
+{
+    if (config_.swapCompressionRatio <= 1.0)
+        return bytes;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(bytes) / config_.swapCompressionRatio);
+}
+
+TensorStatus
+Executor::effectiveStatus(const TensorState &st, Tick at) const
+{
+    if (st.status == TensorStatus::SwappingOut && at >= st.swapOutDone)
+        return TensorStatus::Out;
+    if (st.status == TensorStatus::SwappingIn && at >= st.swapInReady)
+        return TensorStatus::In;
+    return st.status;
+}
+
+void
+Executor::setup()
+{
+    if (setupDone_)
+        panic("setup() called twice");
+    schedule_ = graph_.topoOrder();
+    states_.assign(graph_.numTensors(), TensorState{});
+    usesPerIteration_.assign(graph_.numTensors(), 0);
+    for (std::size_t t = 0; t < graph_.numTensors(); ++t) {
+        usesPerIteration_[t] =
+            static_cast<int>(graph_.consumers(static_cast<TensorId>(t))
+                                 .size());
+    }
+    setupWeights();
+    if (policy_)
+        policy_->attach(graph_, schedule_, config_);
+    setupDone_ = true;
+}
+
+void
+Executor::setupWeights()
+{
+    for (const auto &t : graph_.tensors()) {
+        if (t.kind != TensorKind::Weight)
+            continue;
+        // Weights are permanent: pack them at the bottom of the arena so
+        // they never fragment the large-tensor region at the top.
+        auto h = mem_.allocate(0, t.bytes, BfcAllocator::Placement::Low);
+        if (!h) {
+            throw OomError(
+                fmt("weights alone exceed GPU memory (placing {})",
+                    describeTensor(t)),
+                t.bytes);
+        }
+        TensorState &st = state(t.id);
+        st.gpuHandle = *h;
+        st.status = TensorStatus::In;
+        st.produced = true;
+        st.weightVersion = 0;
+        st.fingerprint = hashCombine(hashString(t.name.c_str()), 0);
+        st.expectedFp = st.fingerprint;
+    }
+}
+
+void
+Executor::abortIteration()
+{
+    clock_ = std::max(clock_, compute_.busyUntil());
+    mem_.drainAll();
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        auto id = static_cast<TensorId>(i);
+        TensorState &st = states_[i];
+        if (graph_.tensor(id).kind == TensorKind::Weight) {
+            st.pinCount = 0;
+            continue;
+        }
+        if (st.gpuHandle) {
+            mem_.freeNow(clock_, *st.gpuHandle);
+            st.gpuHandle.reset();
+        }
+        if (st.hasHostCopy) {
+            mem_.host().deallocate(st.hostHandle);
+            st.hasHostCopy = false;
+            st.hostHandle = 0;
+        }
+        st.status = TensorStatus::Out;
+        st.produced = false;
+        st.pinCount = 0;
+        st.accessCount = 0;
+    }
+    computeBarrier_ = 0;
+    currentOp_ = kInvalidOp;
+    mem_.gpu().checkInvariants();
+}
+
+IterationStats
+Executor::runIteration()
+{
+    if (!setupDone_)
+        setup();
+    beginIterationState();
+    for (OpId id : schedule_)
+        runOp(id);
+    finishIterationState();
+    return stats_;
+}
+
+void
+Executor::beginIterationState()
+{
+    stats_ = IterationStats{};
+    stats_.iteration = iteration_;
+    stats_.begin = std::max(clock_, compute_.busyUntil());
+    mem_.gpu().resetPeak();
+    for (auto &st : states_)
+        st.accessCount = 0;
+    if (policy_)
+        policy_->beginIteration(*this);
+}
+
+void
+Executor::finishIterationState()
+{
+    clock_ = std::max(clock_, compute_.busyUntil());
+    // Reclaim anything a policy left behind (host copies of tensors whose
+    // last access was served from GPU, stale eviction markers, ...).
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        auto id = static_cast<TensorId>(i);
+        TensorState &st = states_[i];
+        if (graph_.tensor(id).kind == TensorKind::Weight)
+            continue;
+        if (st.gpuHandle) {
+            warn("tensor {} still resident at iteration end",
+                 graph_.tensor(id).name);
+            mem_.freeAt(std::max(clock_, st.swapOutDone), *st.gpuHandle);
+            st.gpuHandle.reset();
+        }
+        if (st.hasHostCopy) {
+            mem_.host().deallocate(st.hostHandle);
+            st.hasHostCopy = false;
+            st.hostHandle = 0;
+        }
+        st.status = TensorStatus::Out;
+        st.produced = false;
+    }
+    stats_.end = clock_;
+    stats_.peakGpuBytes = mem_.gpu().stats().peakBytesInUse;
+    if (policy_)
+        policy_->endIteration(*this, stats_);
+    ++iteration_;
+}
+
+MemHandle
+Executor::allocateOrDie(Tick &at, std::uint64_t bytes,
+                        const std::string &what)
+{
+    while (true) {
+        Tick t0 = at;
+        if (auto h = mem_.allocateWaiting(at, bytes)) {
+            stats_.allocStall += at - t0;
+            clock_ = std::max(clock_, at);
+            return *h;
+        }
+        at = std::max(at, t0);
+        clock_ = std::max(clock_, at);
+        if (policy_ && policy_->onAllocFailure(*this, bytes))
+            continue;
+        throw OomError(
+            fmt("OOM allocating {} for {} (in use {}, largest free {})",
+                formatBytes(bytes), what,
+                formatBytes(mem_.gpu().bytesInUse()),
+                formatBytes(mem_.gpu().stats().largestFreeChunk)),
+            bytes);
+    }
+}
+
+Tick
+Executor::ensureResident(TensorId id, Tick at)
+{
+    TensorState &st = state(id);
+    switch (effectiveStatus(st, at)) {
+      case TensorStatus::In:
+      case TensorStatus::SwappingOut:
+        // SwappingOut: chunk is freed only at transfer completion, so the
+        // data is still readable on-device until then.
+        return at;
+
+      case TensorStatus::SwappingIn: {
+          Tick stall = st.swapInReady > at ? st.swapInReady - at : 0;
+          if (stall > 0) {
+              stats_.inputStall += stall;
+              if (policy_)
+                  policy_->onBackAccessStall(*this, id, stall);
+          }
+          st.status = TensorStatus::In;
+          return std::max(at, st.swapInReady);
+      }
+
+      case TensorStatus::Out: {
+          if (!st.hasHostCopy) {
+              panic("tensor {} accessed while absent with no host copy",
+                    graph_.tensor(id).name);
+          }
+          // On-demand swap-in (passive mode / missed prefetch).
+          Tick t0 = at;
+          MemHandle h = allocateOrDie(at, allocBytes(id),
+                                      graph_.tensor(id).name);
+          Tick done = pcie_.transfer(CopyDir::HostToDevice,
+                                     wireBytes(allocBytes(id)), at,
+                                     "swapin:" + graph_.tensor(id).name);
+          st.gpuHandle = h;
+          st.status = TensorStatus::In;
+          st.swapInReady = done;
+          ++stats_.swapInCount;
+          stats_.swapInBytes += allocBytes(id);
+          Tick stall = done - t0;
+          stats_.inputStall += stall;
+          if (policy_)
+              policy_->onBackAccessStall(*this, id, stall);
+          return done;
+      }
+
+      case TensorStatus::Recompute:
+        return recomputeTensor(id, at);
+    }
+    panic("unreachable tensor status");
+}
+
+Tick
+Executor::recomputeTensor(TensorId target, Tick at)
+{
+    // --- 1. Plan: ops whose replay regenerates `target` from residents ---
+    std::vector<OpId> plan;
+    std::vector<bool> in_plan(graph_.numOps(), false);
+
+    std::function<void(TensorId)> need = [&](TensorId tid) {
+        TensorState &st = state(tid);
+        TensorStatus s = effectiveStatus(st, at);
+        if (s == TensorStatus::In || s == TensorStatus::SwappingOut ||
+            s == TensorStatus::SwappingIn) {
+            return; // resident source
+        }
+        if (s == TensorStatus::Out && st.hasHostCopy)
+            return; // swappable source; fetched on demand during replay
+        OpId prod = graph_.tensor(tid).producer;
+        if (prod == kInvalidOp)
+            panic("recompute of {} reached an unproduced tensor",
+                  graph_.tensor(tid).name);
+        const Operation &op = graph_.op(prod);
+        if (!op.recomputable)
+            panic("recompute of {} requires non-recomputable op {}",
+                  graph_.tensor(tid).name, op.name);
+        if (in_plan[prod])
+            return;
+        in_plan[prod] = true;
+        for (TensorId in : op.inputs)
+            need(in);
+        plan.push_back(prod);
+    };
+    need(target);
+    // Op ids are assigned in construction order, which is topological for
+    // builder-produced graphs; sorting restores dependency order.
+    std::sort(plan.begin(), plan.end());
+
+    if (plan.empty())
+        panic("recompute plan for {} is empty", graph_.tensor(target).name);
+
+    // Tensors kept alive only as replay intermediates (no scheduled uses
+    // left) and tensors with future uses retained by collective
+    // recomputation; both are released under memory pressure — the paper's
+    // "kept if the memory is enough; otherwise released" rule (§5.3).
+    std::vector<TensorId> scratch;
+    std::vector<TensorId> kept;
+
+    auto release_from = [&](std::vector<TensorId> &pool, Tick when,
+                            std::size_t plan_pos) {
+        std::vector<TensorId> still_needed;
+        for (std::size_t p = plan_pos; p < plan.size(); ++p) {
+            for (TensorId in : graph_.op(plan[p]).inputs)
+                still_needed.push_back(in);
+        }
+        bool any = false;
+        for (auto it = pool.begin(); it != pool.end();) {
+            if (std::find(still_needed.begin(), still_needed.end(), *it) ==
+                still_needed.end()) {
+                TensorState &st = state(*it);
+                if (st.gpuHandle) {
+                    mem_.freeAt(when, *st.gpuHandle);
+                    st.gpuHandle.reset();
+                    st.status = st.hasHostCopy ? TensorStatus::Out
+                                               : TensorStatus::Recompute;
+                    any = true;
+                }
+                it = pool.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return any;
+    };
+    auto release_scratch = [&](Tick when, std::size_t plan_pos) {
+        return release_from(scratch, when, plan_pos);
+    };
+
+    // --- 2. Replay ---
+    for (std::size_t p = 0; p < plan.size(); ++p) {
+        const Operation &op = graph_.op(plan[p]);
+
+        // Pin the replay op's tensors: a policy reacting to the allocation
+        // pressure below must not free what this kernel is about to read.
+        for (TensorId in : op.inputs)
+            ++state(in).pinCount;
+        for (TensorId out : op.outputs)
+            ++state(out).pinCount;
+
+        for (TensorId in : op.inputs)
+            at = ensureResident(in, at);
+        if (config_.checkFingerprints) {
+            for (TensorId in : op.inputs)
+                verifyFingerprint(in, op);
+        }
+
+        bool fast = true;
+        std::optional<MemHandle> ws;
+        if (op.fastWorkspaceBytes > 0) {
+            ws = mem_.allocate(at, op.fastWorkspaceBytes);
+            if (!ws) {
+                fast = false;
+                ++stats_.fallbackKernels;
+            }
+        }
+
+        for (TensorId out : op.outputs) {
+            TensorState &ost = state(out);
+            if (ost.gpuHandle)
+                continue; // already live (multi-output op partially kept)
+            auto h = mem_.allocate(at, allocBytes(out));
+            if (!h && release_scratch(at, p))
+                h = mem_.allocate(at, allocBytes(out));
+            if (!h && release_from(kept, at, p))
+                h = mem_.allocate(at, allocBytes(out));
+            if (!h) {
+                clock_ = std::max(clock_, at);
+                h = allocateOrDie(at, allocBytes(out),
+                                  graph_.tensor(out).name);
+            }
+            ost.gpuHandle = *h;
+            ost.status = TensorStatus::In;
+        }
+
+        Tick dur = cost_.opDuration(op, fast);
+        Tick end = compute_.enqueue(at, dur, "recompute:" + op.name);
+        at = end;
+        stats_.recomputeBusy += dur;
+        ++stats_.recomputeOps;
+        if (ws)
+            mem_.freeAt(end, *ws);
+
+        for (TensorId in : op.inputs)
+            --state(in).pinCount;
+        for (TensorId out : op.outputs)
+            --state(out).pinCount;
+
+        for (TensorId out : op.outputs) {
+            produceFingerprint(out, op);
+            TensorState &ost = state(out);
+            ost.produced = true;
+            bool is_target = out == target;
+            bool has_future_uses = ost.remainingUses > 0;
+            if (is_target)
+                continue;
+            if (has_future_uses) {
+                if (config_.collectiveRecompute) {
+                    // Keep it: one replay satisfies several targets (§5.3).
+                    kept.push_back(out);
+                    continue;
+                }
+                // Non-collective: release; it will be replayed again later.
+                mem_.freeAt(end, *ost.gpuHandle);
+                ost.gpuHandle.reset();
+                ost.status = ost.hasHostCopy ? TensorStatus::Out
+                                             : TensorStatus::Recompute;
+            } else {
+                scratch.push_back(out);
+            }
+        }
+    }
+
+    release_scratch(at, plan.size());
+    ++stats_.recomputedTensors;
+    clock_ = std::max(clock_, at);
+    return at;
+}
+
+void
+Executor::produceFingerprint(TensorId id, const Operation &op)
+{
+    TensorState &st = state(id);
+    std::uint64_t fp = hashString(op.name.c_str());
+    fp = hashCombine(fp, hashString(graph_.tensor(id).name.c_str()));
+    if (op.category == OpCategory::Source) {
+        // Fresh batch each iteration: not reproducible by replay.
+        fp = hashCombine(fp, static_cast<std::uint64_t>(iteration_));
+    }
+    for (TensorId in : op.inputs)
+        fp = hashCombine(fp, state(in).fingerprint);
+    st.fingerprint = fp;
+    st.expectedFp = fp;
+}
+
+void
+Executor::verifyFingerprint(TensorId id, const Operation &op)
+{
+    const TensorState &st = state(id);
+    if (st.fingerprint != st.expectedFp) {
+        panic("fingerprint mismatch on {} consumed by {}: data {} expected "
+              "{} (stale or corrupted regeneration)",
+              graph_.tensor(id).name, op.name, st.fingerprint,
+              st.expectedFp);
+    }
+}
+
+void
+Executor::runOp(OpId id)
+{
+    const Operation &op = graph_.op(id);
+    currentOp_ = id;
+
+    Tick t = std::max(compute_.busyUntil(), computeBarrier_);
+    if (config_.eagerMode) {
+        hostClock_ = std::max(hostClock_, t > config_.eagerHostOverhead
+                                              ? t - config_.eagerHostOverhead
+                                              : 0);
+        hostClock_ += config_.eagerHostOverhead;
+        t = std::max(t, hostClock_);
+    }
+    clock_ = std::max(clock_, t);
+
+    for (TensorId in : op.inputs)
+        ++state(in).pinCount;
+    for (TensorId out : op.outputs)
+        ++state(out).pinCount;
+
+    // (1) Inputs resident.
+    for (TensorId in : op.inputs) {
+        t = ensureResident(in, t);
+        clock_ = std::max(clock_, t);
+    }
+    if (config_.checkFingerprints) {
+        for (TensorId in : op.inputs)
+            verifyFingerprint(in, op);
+    }
+
+    // (2) Workspace: fast algorithm if scratch fits right now, else the
+    // slower no-workspace fallback (cuDNN under a workspace limit).
+    bool fast = true;
+    std::optional<MemHandle> ws;
+    if (op.fastWorkspaceBytes > 0) {
+        ws = mem_.allocate(t, op.fastWorkspaceBytes);
+        if (!ws) {
+            fast = false;
+            ++stats_.fallbackKernels;
+        }
+    }
+
+    // (3) Outputs. Graph mode forwards the input buffer to outputs[0] when
+    // the op is in-place-eligible and this is the input's last use
+    // (TensorFlow's buffer forwarding; eager mode lacks it).
+    bool aliased = false;
+    if (!config_.eagerMode && op.inplaceEligible && !op.inputs.empty() &&
+        !op.outputs.empty()) {
+        TensorId in0 = op.inputs[0];
+        TensorId out0 = op.outputs[0];
+        TensorState &ist = state(in0);
+        const TensorDesc &in_desc = graph_.tensor(in0);
+        bool movable = (in_desc.kind == TensorKind::FeatureMap ||
+                        in_desc.kind == TensorKind::Gradient) &&
+                       graph_.consumers(in0).size() == 1 &&
+                       ist.remainingUses == 1 && ist.gpuHandle &&
+                       effectiveStatus(ist, t) == TensorStatus::In &&
+                       allocBytes(out0) <=
+                           mem_.gpu().allocationSize(*ist.gpuHandle);
+        if (movable) {
+            TensorState &ost = state(out0);
+            ost.gpuHandle = ist.gpuHandle;
+            ist.gpuHandle.reset();
+            ost.status = TensorStatus::In;
+            ost.produced = true;
+            ost.remainingUses = usesPerIteration_[out0];
+            aliased = true;
+            ++stats_.inplaceForwards;
+        }
+    }
+    for (std::size_t oi = 0; oi < op.outputs.size(); ++oi) {
+        if (aliased && oi == 0)
+            continue;
+        TensorId out = op.outputs[oi];
+        TensorState &st = state(out);
+        if (st.gpuHandle) {
+            panic("output {} already allocated (status {}, produced {}, "
+                  "uses {}, hostcopy {})",
+                  graph_.tensor(out).name, tensorStatusName(st.status),
+                  st.produced, st.remainingUses, st.hasHostCopy);
+        }
+        MemHandle h = allocateOrDie(t, allocBytes(out),
+                                    graph_.tensor(out).name);
+        st.gpuHandle = h;
+        st.status = TensorStatus::In;
+        st.produced = true;
+        st.remainingUses = usesPerIteration_[out];
+    }
+
+    // (4) Kernel.
+    Tick dur = cost_.opDuration(op, fast);
+    Tick end = compute_.enqueue(t, dur, op.name);
+    Tick start = end - dur;
+    currentOpEnd_ = end;
+    stats_.kernelBusy += dur;
+    clock_ = std::max(clock_, start);
+
+    // (5) Fingerprints + weight versioning.
+    for (TensorId out : op.outputs)
+        produceFingerprint(out, op);
+    if (op.category == OpCategory::Update) {
+        for (TensorId in : op.inputs) {
+            if (graph_.tensor(in).kind == TensorKind::Weight) {
+                TensorState &wst = state(in);
+                ++wst.weightVersion;
+                wst.fingerprint = hashCombine(
+                    hashString(graph_.tensor(in).name.c_str()),
+                    static_cast<std::uint64_t>(wst.weightVersion));
+                wst.expectedFp = wst.fingerprint;
+            }
+        }
+    }
+
+    // (6) Access events: inputs stamped at kernel start, outputs at end.
+    for (TensorId in : op.inputs)
+        recordAccess(in, start, false, id);
+    for (TensorId out : op.outputs)
+        recordAccess(out, end, true, id);
+
+    if (ws)
+        mem_.freeAt(end, *ws);
+
+    // (7) Refcounts; release tensors with no scheduled uses left.
+    for (TensorId in : op.inputs)
+        --state(in).pinCount;
+    for (TensorId out : op.outputs)
+        --state(out).pinCount;
+    for (TensorId in : op.inputs) {
+        TensorState &st = state(in);
+        if (graph_.tensor(in).kind == TensorKind::Weight)
+            continue;
+        if (--st.remainingUses <= 0)
+            releaseIfDead(in, end);
+    }
+    for (TensorId out : op.outputs) {
+        if (usesPerIteration_[out] == 0 &&
+            graph_.tensor(out).kind != TensorKind::Weight)
+            releaseIfDead(out, end);
+    }
+
+    if (policy_)
+        policy_->afterOp(*this, id, end);
+
+    clock_ = std::max(clock_, end);
+    currentOp_ = kInvalidOp;
+}
+
+void
+Executor::recordAccess(TensorId id, Tick when, bool is_output, OpId op)
+{
+    TensorState &st = state(id);
+    ++st.accessCount;
+    if (!policy_)
+        return;
+    AccessEvent ev;
+    ev.tensor = id;
+    ev.accessIndex = st.accessCount;
+    ev.when = when;
+    ev.isOutput = is_output;
+    ev.op = op;
+    policy_->onAccess(*this, ev);
+}
+
+void
+Executor::releaseIfDead(TensorId id, Tick at)
+{
+    TensorState &st = state(id);
+    if (st.gpuHandle) {
+        // Data may still feed an in-flight D2H transfer; free at whichever
+        // is later.
+        Tick when = std::max(at, st.status == TensorStatus::SwappingOut
+                                     ? st.swapOutDone
+                                     : at);
+        mem_.freeAt(when, *st.gpuHandle);
+        st.gpuHandle.reset();
+    }
+    if (st.hasHostCopy) {
+        mem_.host().deallocate(st.hostHandle);
+        st.hasHostCopy = false;
+        st.hostHandle = 0;
+    }
+    st.status = TensorStatus::Out;
+    st.produced = false;
+}
+
+// --- ExecContext queries ---
+
+TensorStatus
+Executor::status(TensorId id) const
+{
+    return effectiveStatus(state(id), clock_);
+}
+
+int
+Executor::accessCount(TensorId id) const
+{
+    return state(id).accessCount;
+}
+
+bool
+Executor::isResident(TensorId id) const
+{
+    TensorStatus s = status(id);
+    return s == TensorStatus::In || s == TensorStatus::SwappingOut ||
+           s == TensorStatus::SwappingIn;
+}
+
+bool
+Executor::isPinned(TensorId id) const
+{
+    return state(id).pinCount > 0;
+}
+
+std::uint64_t
+Executor::tensorBytes(TensorId id) const
+{
+    return allocBytes(id);
+}
+
+std::uint64_t
+Executor::freeGpuBytes() const
+{
+    return mem_.gpu().bytesFree();
+}
+
+std::uint64_t
+Executor::gpuCapacity() const
+{
+    return mem_.gpu().capacity();
+}
+
+bool
+Executor::canAllocateNow(std::uint64_t bytes)
+{
+    return mem_.canAllocate(clock_, bytes);
+}
+
+bool
+Executor::regenCheck(TensorId id, bool accept_transient)
+{
+    // Mirror of recomputeTensor()'s plan DFS, but total: false instead of
+    // panic on a dead end. A tensor counts as regenerable if a replay can
+    // reach acceptable sources through recomputable ops, treating `id`
+    // itself as absent. With accept_transient, merely-resident feature
+    // maps count as sources (they may be freed later); without it only
+    // weights and host copies do.
+    std::vector<TensorId> stack;
+    std::vector<bool> visited(graph_.numTensors(), false);
+    stack.push_back(id);
+    visited[id] = true;
+    while (!stack.empty()) {
+        TensorId tid = stack.back();
+        stack.pop_back();
+        TensorState &st = state(tid);
+        TensorStatus s = effectiveStatus(st, clock_);
+        if (tid != id) {
+            if (graph_.tensor(tid).kind == TensorKind::Weight)
+                continue;
+            if (accept_transient && st.hasHostCopy)
+                continue; // swappable source (until its refcount death)
+            if (accept_transient &&
+                (s == TensorStatus::In || s == TensorStatus::SwappingOut ||
+                 s == TensorStatus::SwappingIn))
+                continue; // resident source (for now)
+        } else if (st.hasHostCopy) {
+            return true; // regenerates by swap-in regardless of lineage
+        }
+        OpId prod = graph_.tensor(tid).producer;
+        if (prod == kInvalidOp || !graph_.op(prod).recomputable)
+            return false;
+        for (TensorId in : graph_.op(prod).inputs) {
+            if (!visited[in]) {
+                visited[in] = true;
+                stack.push_back(in);
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Executor::canRegenerate(TensorId id)
+{
+    return regenCheck(id, true);
+}
+
+bool
+Executor::canRegenerateStably(TensorId id)
+{
+    return regenCheck(id, false);
+}
+
+std::vector<TensorId>
+Executor::victimsForContiguous(std::uint64_t bytes)
+{
+    // Map live chunk offsets to their owning tensors.
+    std::unordered_map<std::uint64_t, TensorId> owner;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (states_[i].gpuHandle)
+            owner[*states_[i].gpuHandle] = static_cast<TensorId>(i);
+    }
+
+    // Sliding window over the arena: the cheapest run of chunks (all free
+    // or evictable) whose total size covers the request. Cost = evicted
+    // bytes. Chunks owned by no tensor (workspaces, in-flight transfers),
+    // by weights, or by pinned/non-resident tensors block a window.
+    auto chunks = mem_.gpu().snapshot();
+    auto evictable = [&](std::size_t i, TensorId &out_tensor) {
+        auto it = owner.find(chunks[i].offset);
+        if (it == owner.end())
+            return false;
+        TensorId tid = it->second;
+        const TensorDesc &t = graph_.tensor(tid);
+        if (t.kind == TensorKind::Weight)
+            return false;
+        const TensorState &st = state(tid);
+        if (st.pinCount > 0 ||
+            effectiveStatus(st, clock_) != TensorStatus::In)
+            return false;
+        out_tensor = tid;
+        return true;
+    };
+
+    std::vector<TensorId> best;
+    std::uint64_t best_cost = ~0ull;
+    std::size_t lo = 0;
+    std::uint64_t span = 0;
+    std::uint64_t cost = 0;
+    std::vector<TensorId> window;
+    for (std::size_t hi = 0; hi < chunks.size(); ++hi) {
+        TensorId tid = kInvalidTensor;
+        bool pending_free =
+            !chunks[hi].free && mem_.isFreePending(chunks[hi].offset);
+        if (!chunks[hi].free && !pending_free && !evictable(hi, tid)) {
+            // Blocker: restart past it. (Chunks with an in-flight deferred
+            // free count as zero-cost — the allocation retry loop waits
+            // for their transfers anyway.)
+            lo = hi + 1;
+            span = 0;
+            cost = 0;
+            window.clear();
+            continue;
+        }
+        span += chunks[hi].size;
+        if (!chunks[hi].free && !pending_free) {
+            cost += chunks[hi].size;
+            window.push_back(tid);
+        }
+        while (lo < hi && span - chunks[lo].size >= bytes) {
+            span -= chunks[lo].size;
+            if (!chunks[lo].free && !mem_.isFreePending(chunks[lo].offset)) {
+                cost -= chunks[lo].size;
+                window.erase(window.begin());
+            }
+            ++lo;
+        }
+        if (span >= bytes && cost < best_cost) {
+            best_cost = cost;
+            best = window;
+        }
+    }
+    return best;
+}
+
+Tick
+Executor::swapTime(std::uint64_t bytes) const
+{
+    return pcie_.transferTime(wireBytes(bytes));
+}
+
+Tick
+Executor::memStallSoFar() const
+{
+    return stats_.inputStall + stats_.allocStall;
+}
+
+Tick
+Executor::nominalOpDuration(OpId id) const
+{
+    return cost_.opDuration(graph_.op(id), true);
+}
+
+// --- ExecContext actions ---
+
+void
+Executor::evictSwapAsync(TensorId id)
+{
+    TensorState &st = state(id);
+    if (effectiveStatus(st, clock_) != TensorStatus::In || !st.gpuHandle)
+        return;
+    if (graph_.tensor(id).kind == TensorKind::Weight)
+        panic("policy tried to evict weight {}", graph_.tensor(id).name);
+
+    std::uint64_t bytes = allocBytes(id);
+    // The evicting access's kernel must retire before the copy may start.
+    Tick ready = std::max(clock_, currentOp_ != kInvalidOp ? currentOpEnd_
+                                                           : clock_);
+    Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
+                               ready,
+                               "swapout:" + graph_.tensor(id).name);
+    if (!st.hasHostCopy) {
+        st.hostHandle = mem_.host().allocate(wireBytes(bytes));
+        if (st.hostHandle == 0) {
+            throw OomError(fmt("host pinned pool exhausted swapping {}",
+                               graph_.tensor(id).name),
+                           bytes);
+        }
+        st.hasHostCopy = true;
+    }
+    mem_.freeAt(done, *st.gpuHandle);
+    st.gpuHandle.reset();
+    st.status = TensorStatus::SwappingOut;
+    st.swapOutDone = done;
+    ++stats_.swapOutCount;
+    stats_.swapOutBytes += bytes;
+}
+
+Tick
+Executor::evictSwapBlocking(TensorId id)
+{
+    evictSwapAsync(id);
+    const TensorState &st = state(id);
+    if (st.status == TensorStatus::SwappingOut)
+        computeBarrier_ = std::max(computeBarrier_, st.swapOutDone);
+    return computeBarrier_;
+}
+
+bool
+Executor::evictSwapSync(TensorId id)
+{
+    TensorState &st = state(id);
+    if (st.pinCount > 0)
+        return false;
+    if (graph_.tensor(id).kind == TensorKind::Weight)
+        return false;
+    if (effectiveStatus(st, clock_) != TensorStatus::In || !st.gpuHandle)
+        return false;
+
+    std::uint64_t bytes = allocBytes(id);
+    Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
+                               clock_,
+                               "oom-swapout:" + graph_.tensor(id).name);
+    if (!st.hasHostCopy) {
+        st.hostHandle = mem_.host().allocate(wireBytes(bytes));
+        if (st.hostHandle == 0) {
+            throw OomError(fmt("host pinned pool exhausted swapping {}",
+                               graph_.tensor(id).name),
+                           bytes);
+        }
+        st.hasHostCopy = true;
+    }
+    mem_.freeAt(done, *st.gpuHandle);
+    st.gpuHandle.reset();
+    st.status = TensorStatus::SwappingOut;
+    st.swapOutDone = done;
+    ++stats_.swapOutCount;
+    ++stats_.oomEvictions;
+    stats_.swapOutBytes += bytes;
+    return true;
+}
+
+void
+Executor::evictDrop(TensorId id)
+{
+    TensorState &st = state(id);
+    if (effectiveStatus(st, clock_) != TensorStatus::In || !st.gpuHandle)
+        return;
+    if (graph_.tensor(id).kind == TensorKind::Weight)
+        panic("policy tried to drop weight {}", graph_.tensor(id).name);
+    // Refuse drops that could never be regenerated: no producer, or a
+    // non-recomputable producer (Source ops), with no host copy to fall
+    // back on. Policies should not request these; the action stays safe
+    // regardless.
+    OpId producer = graph_.tensor(id).producer;
+    if (!st.hasHostCopy &&
+        (producer == kInvalidOp || !graph_.op(producer).recomputable)) {
+        return;
+    }
+    Tick when = std::max(clock_, currentOp_ != kInvalidOp ? currentOpEnd_
+                                                          : clock_);
+    mem_.freeAt(when, *st.gpuHandle);
+    st.gpuHandle.reset();
+    // A tensor with a surviving host copy regenerates by swap-in; only
+    // host-copy-less drops take the recomputation path.
+    st.status = st.hasHostCopy ? TensorStatus::Out : TensorStatus::Recompute;
+    ++stats_.droppedTensors;
+    stats_.droppedBytes += allocBytes(id);
+}
+
+void
+Executor::prefetchAsync(TensorId id)
+{
+    TensorState &st = state(id);
+    TensorStatus s = effectiveStatus(st, clock_);
+    // A trigger may fire while the swap-out is still draining; the fetch
+    // then starts right after the host copy completes.
+    Tick ready = clock_;
+    if (s == TensorStatus::SwappingOut) {
+        ready = std::max(ready, st.swapOutDone);
+    } else if (s != TensorStatus::Out) {
+        return; // already resident / being fetched / recompute-managed
+    }
+    if (!st.hasHostCopy)
+        return;
+    std::uint64_t bytes = allocBytes(id);
+    auto h = mem_.allocate(clock_, bytes);
+    if (!h)
+        return; // peak-memory window: degrade to on-demand at back-access
+    Tick done = pcie_.transfer(CopyDir::HostToDevice, wireBytes(bytes),
+                               ready,
+                               "prefetch:" + graph_.tensor(id).name);
+    st.gpuHandle = *h;
+    st.status = TensorStatus::SwappingIn;
+    st.swapInReady = done;
+    ++stats_.swapInCount;
+    stats_.swapInBytes += bytes;
+}
+
+} // namespace capu

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The training executor: a sequential-host discrete-event GPU model.
+ *
+ * The host launches the schedule's ops in order onto one serial compute
+ * stream; D2H/H2D copies run on their own PCIe lanes. Because the compute
+ * stream is FIFO, the host loop can advance a master clock op-by-op while
+ * remaining *exact*: every overlap, synchronization stall and PCIe
+ * serialization shows up in the stream interval logs at true ticks.
+ *
+ * Per op the executor: (1) makes inputs resident (waiting on swap-ins,
+ * running on-demand swap-ins, or replaying lineage for recomputation);
+ * (2) allocates outputs + workspace under the OOM protocol (drain deferred
+ * frees -> wait for earliest in-flight free -> ask the policy -> raise
+ * OomError); (3) enqueues the kernel; (4) records tensor accesses and feeds
+ * them to the policy; (5) releases refcount-dead tensors at kernel
+ * retirement.
+ *
+ * Data integrity is checked with lineage fingerprints: every tensor carries
+ * a 64-bit value deterministically derived from (producer op, inputs,
+ * weight versions, iteration); swap must preserve it, recomputation must
+ * regenerate it, and every consumption asserts it — a zero-numerics oracle
+ * that swapped/recomputed data is the right data.
+ */
+
+#ifndef CAPU_EXEC_EXECUTOR_HH
+#define CAPU_EXEC_EXECUTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.hh"
+#include "exec/memory_manager.hh"
+#include "exec/memory_policy.hh"
+#include "graph/graph.hh"
+#include "sim/gpu_device.hh"
+#include "sim/pcie_link.hh"
+#include "sim/stream.hh"
+#include "support/units.hh"
+
+namespace capu
+{
+
+/** Raised when memory cannot be found even with the policy's help. */
+class OomError : public std::runtime_error
+{
+  public:
+    OomError(const std::string &what, std::uint64_t bytes)
+        : std::runtime_error(what), requestedBytes(bytes)
+    {
+    }
+
+    std::uint64_t requestedBytes;
+};
+
+struct ExecConfig
+{
+    GpuDeviceSpec device = GpuDeviceSpec::p100();
+
+    /** Imperative (eager) execution: sequential host, no graph opts. */
+    bool eagerMode = false;
+
+    /** Host-side dispatch cost per op in eager mode (Python interpreter). */
+    Tick eagerHostOverhead = ticksFromUs(30);
+
+    /**
+     * Eager activations are allocated with this slack factor: graph mode's
+     * buffer forwarding, pruning and fusion shrink the activation footprint
+     * relative to op-by-op execution (paper §6.4.1: ResNet-50 fits 190 in
+     * graph mode but only 122 eagerly).
+     */
+    double eagerActivationSlack = 1.5;
+
+    /** Keep recompute intermediates that are themselves targets (§5.3). */
+    bool collectiveRecompute = true;
+
+    /** Verify lineage fingerprints on every consumption. */
+    bool checkFingerprints = true;
+
+    /** Keep per-interval stream logs (needed by timeline benches). */
+    bool recordTimeline = false;
+
+    /** Pinned host staging capacity (the testbed had 256 GB). */
+    std::uint64_t hostPoolBytes = 256ull << 30;
+
+    /** GPU allocator anti-fragmentation features (ablation bench). */
+    BfcOptions allocator;
+
+    /**
+     * Swap-compression extension (paper section 7 cites CDMA/Gist as
+     * orthogonal work): swapped tensors are compressed by a copy-engine-
+     * side compressor before crossing PCIe, shrinking transfer time and
+     * host footprint by this factor. 1.0 disables. Activation sparsity
+     * (ReLU zeros) makes ~2x lossless ratios realistic for CNNs.
+     */
+    double swapCompressionRatio = 1.0;
+};
+
+struct IterationStats
+{
+    int iteration = 0;
+    Tick begin = 0;
+    Tick end = 0;
+
+    /** Compute-stream occupancy by scheduled kernels. */
+    Tick kernelBusy = 0;
+    /** Extra compute-stream occupancy from recomputation replays. */
+    Tick recomputeBusy = 0;
+    /** Waits for tensors to become resident at access time. */
+    Tick inputStall = 0;
+    /** Waits inside allocation (deferred frees, sync evictions). */
+    Tick allocStall = 0;
+
+    std::uint64_t swapOutBytes = 0;
+    std::uint64_t swapInBytes = 0;
+    int swapOutCount = 0;
+    int swapInCount = 0;
+    int recomputedTensors = 0;
+    int recomputeOps = 0;
+    int droppedTensors = 0;
+    std::uint64_t droppedBytes = 0;
+    /** Outputs that reused their input's buffer (graph-mode forwarding). */
+    int inplaceForwards = 0;
+    /** Conv kernels that fell back to the slow no-workspace algorithm. */
+    int fallbackKernels = 0;
+    /** Passive-mode on-demand evictions (OOM handler). */
+    int oomEvictions = 0;
+
+    std::uint64_t peakGpuBytes = 0;
+
+    Tick duration() const { return end - begin; }
+
+    double
+    throughput(std::int64_t batch) const
+    {
+        return duration() == 0
+                   ? 0.0
+                   : static_cast<double>(batch) / ticksToSec(duration());
+    }
+};
+
+/** Runtime residency + bookkeeping for one tensor. */
+struct TensorState
+{
+    TensorStatus status = TensorStatus::Out;
+    bool produced = false;
+    std::optional<MemHandle> gpuHandle;
+    std::uint64_t hostHandle = 0; ///< nonzero while a host copy exists
+    bool hasHostCopy = false;
+    Tick swapInReady = 0;
+    Tick swapOutDone = 0;
+    int remainingUses = 0;
+    int accessCount = 0;
+    int pinCount = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t expectedFp = 0;
+    int weightVersion = 0;
+};
+
+class Executor : public ExecContext
+{
+  public:
+    /**
+     * @param policy Decision plug-in; may be nullptr (pure TF-original
+     *               behaviour: OOM raises immediately).
+     */
+    Executor(const Graph &graph, ExecConfig config, MemoryPolicy *policy);
+
+    /** Allocate weights, build the schedule, attach the policy. */
+    void setup();
+
+    /** Run one full training iteration. Throws OomError on exhaustion. */
+    IterationStats runIteration();
+
+    /**
+     * Recover from a mid-iteration OomError: release every non-weight
+     * tensor (GPU and host copies), drain pending frees, clear barriers.
+     * The same iteration index can then be re-run.
+     */
+    void abortIteration();
+
+    // --- ExecContext queries ---
+    const Graph &graph() const override { return graph_; }
+    const std::vector<OpId> &schedule() const override { return schedule_; }
+    int iteration() const override { return iteration_; }
+    TensorStatus status(TensorId id) const override;
+    int accessCount(TensorId id) const override;
+    bool isResident(TensorId id) const override;
+    bool isPinned(TensorId id) const override;
+    std::uint64_t tensorBytes(TensorId id) const override;
+    std::uint64_t freeGpuBytes() const override;
+    std::uint64_t gpuCapacity() const override;
+    bool canAllocateNow(std::uint64_t bytes) override;
+    std::vector<TensorId> victimsForContiguous(std::uint64_t bytes) override;
+    bool canRegenerate(TensorId id) override;
+    bool canRegenerateStably(TensorId id) override;
+    Tick swapTime(std::uint64_t bytes) const override;
+    Tick memStallSoFar() const override;
+    const CostModel &costModel() const override { return cost_; }
+
+    // --- ExecContext actions ---
+    void evictSwapAsync(TensorId id) override;
+    Tick evictSwapBlocking(TensorId id) override;
+    bool evictSwapSync(TensorId id) override;
+    void evictDrop(TensorId id) override;
+    void prefetchAsync(TensorId id) override;
+
+    // --- introspection for benches/tests ---
+    Stream &computeStream() { return compute_; }
+    PcieLink &pcie() { return pcie_; }
+    MemoryManager &memory() { return mem_; }
+    Tick now() const { return clock_; }
+    const TensorState &tensorState(TensorId id) const;
+    const ExecConfig &config() const { return config_; }
+
+    /** Duration the cost model assigns to `op` with its preferred algo. */
+    Tick nominalOpDuration(OpId id) const;
+
+  private:
+    const Graph &graph_;
+    ExecConfig config_;
+    MemoryPolicy *policy_;
+    CostModel cost_;
+    MemoryManager mem_;
+    Stream compute_;
+    PcieLink pcie_;
+
+    std::vector<OpId> schedule_;
+    std::vector<TensorState> states_;
+    std::vector<int> usesPerIteration_; ///< consumer count per tensor
+
+    Tick clock_ = 0;       ///< host-loop master clock
+    Tick hostClock_ = 0;   ///< eager-mode interpreter time
+    Tick computeBarrier_ = 0; ///< blocking swap-out fence (vDNN coupling)
+    int iteration_ = 0;
+    bool setupDone_ = false;
+
+    OpId currentOp_ = kInvalidOp;
+    Tick currentOpEnd_ = 0;
+
+    IterationStats stats_;
+
+    // --- helpers ---
+    TensorState &state(TensorId id);
+    const TensorState &state(TensorId id) const;
+    std::uint64_t allocBytes(TensorId id) const;
+    /** PCIe bytes after swap compression (== bytes when disabled). */
+    std::uint64_t wireBytes(std::uint64_t bytes) const;
+    TensorStatus effectiveStatus(const TensorState &st, Tick at) const;
+
+    /** Allocate under the full OOM protocol; advances `at` on waits. */
+    MemHandle allocateOrDie(Tick &at, std::uint64_t bytes,
+                            const std::string &what);
+
+    /** Make `id` resident at time `at`; returns the ready tick. */
+    Tick ensureResident(TensorId id, Tick at);
+
+    /** Replay lineage to regenerate `id`; returns completion tick. */
+    Tick recomputeTensor(TensorId id, Tick at);
+
+    bool regenCheck(TensorId id, bool accept_transient);
+    void runOp(OpId id);
+    void recordAccess(TensorId id, Tick when, bool is_output, OpId op);
+    void releaseIfDead(TensorId id, Tick at);
+    void produceFingerprint(TensorId id, const Operation &op);
+    void verifyFingerprint(TensorId id, const Operation &op);
+    void setupWeights();
+    void beginIterationState();
+    void finishIterationState();
+};
+
+} // namespace capu
+
+#endif // CAPU_EXEC_EXECUTOR_HH

@@ -1,0 +1,77 @@
+#include "exec/memory_manager.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+MemoryManager::MemoryManager(std::uint64_t gpu_capacity,
+                             std::uint64_t host_capacity,
+                             BfcOptions gpu_options)
+    : gpu_(gpu_capacity, gpu_options), host_(host_capacity)
+{
+}
+
+std::optional<MemHandle>
+MemoryManager::allocate(Tick now, std::uint64_t bytes,
+                        BfcAllocator::Placement placement)
+{
+    deferred_.applyUpTo(now, gpu_);
+    return gpu_.allocate(bytes, placement);
+}
+
+std::optional<MemHandle>
+MemoryManager::allocateWaiting(Tick &now, std::uint64_t bytes)
+{
+    while (true) {
+        if (auto h = allocate(now, bytes))
+            return h;
+        auto next = deferred_.nextMaturity();
+        if (!next)
+            return std::nullopt;
+        // Wait for the earliest in-flight free (swap-out / kernel retire).
+        now = std::max(now, *next);
+    }
+}
+
+void
+MemoryManager::freeNow(Tick now, MemHandle handle)
+{
+    deferred_.applyUpTo(now, gpu_);
+    gpu_.deallocate(handle);
+}
+
+void
+MemoryManager::freeAt(Tick when, MemHandle handle)
+{
+    deferred_.post(when, handle);
+}
+
+bool
+MemoryManager::canAllocate(Tick now, std::uint64_t bytes)
+{
+    deferred_.applyUpTo(now, gpu_);
+    return gpu_.canAllocate(bytes);
+}
+
+std::optional<Tick>
+MemoryManager::nextPendingFree() const
+{
+    return deferred_.nextMaturity();
+}
+
+bool
+MemoryManager::isFreePending(MemHandle handle) const
+{
+    return deferred_.isPending(handle);
+}
+
+void
+MemoryManager::drainAll()
+{
+    deferred_.applyUpTo(std::numeric_limits<Tick>::max(), gpu_);
+}
+
+} // namespace capu

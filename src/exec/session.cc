@@ -1,0 +1,115 @@
+#include "exec/session.hh"
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+double
+SessionResult::steadyThroughput(std::int64_t batch, int skip) const
+{
+    Tick ticks = steadyIterationTicks(skip);
+    if (ticks == 0)
+        return 0;
+    return static_cast<double>(batch) / ticksToSec(ticks);
+}
+
+Tick
+SessionResult::steadyIterationTicks(int skip) const
+{
+    if (iterations.empty())
+        return 0;
+    std::size_t first = std::min<std::size_t>(skip, iterations.size() - 1);
+    Tick total = 0;
+    std::size_t n = 0;
+    for (std::size_t i = first; i < iterations.size(); ++i) {
+        total += iterations[i].duration();
+        ++n;
+    }
+    return n == 0 ? 0 : total / n;
+}
+
+const IterationStats &
+SessionResult::last() const
+{
+    if (iterations.empty())
+        panic("no iterations recorded");
+    return iterations.back();
+}
+
+Session::Session(Graph graph, ExecConfig config,
+                 std::unique_ptr<MemoryPolicy> policy)
+    : graph_(std::move(graph)), config_(std::move(config)),
+      policy_(std::move(policy))
+{
+    exec_ = std::make_unique<Executor>(graph_, config_, policy_.get());
+}
+
+SessionResult
+Session::run(int iterations)
+{
+    SessionResult result;
+    result.graphStats = graph_.stats();
+    try {
+        exec_->setup();
+        int completed = 0;
+        int aborts = 0;
+        while (completed < iterations) {
+            try {
+                result.iterations.push_back(exec_->runIteration());
+                ++completed;
+            } catch (const OomError &e) {
+                // Give the policy one chance per abort to learn from the
+                // partial iteration and retry (bounded; Capuchin's
+                // iterative refinement uses this).
+                if (!policy_ || aborts >= kMaxIterationAborts ||
+                    !policy_->onIterationAbort(*exec_)) {
+                    throw;
+                }
+                ++aborts;
+                exec_->abortIteration();
+            }
+        }
+    } catch (const OomError &e) {
+        result.oom = true;
+        result.oomMessage = e.what();
+    }
+    return result;
+}
+
+std::int64_t
+findMaxBatch(const GraphBuilderFn &builder,
+             const PolicyFactoryFn &make_policy, const ExecConfig &config,
+             int iterations, std::int64_t lo, std::int64_t hi)
+{
+    auto feasible = [&](std::int64_t batch) {
+        Session session(builder(batch), config, make_policy());
+        return !session.run(iterations).oom;
+    };
+    // Fragmentation makes raw feasibility locally non-monotone (batch b
+    // can fail while b+20 happens to tile the arena); a batch only counts
+    // if a slightly smaller one also works, which suppresses lucky spikes.
+    auto robust = [&](std::int64_t batch) {
+        std::int64_t step = std::max<std::int64_t>(1, batch / 32);
+        return feasible(batch) &&
+               (batch - step < lo || feasible(batch - step));
+    };
+
+    if (!feasible(lo))
+        return 0;
+    // Invariant: lo feasible, hi + 1 considered infeasible.
+    if (robust(hi))
+        return hi;
+    std::int64_t good = lo;
+    std::int64_t bad = hi;
+    while (good + 1 < bad) {
+        std::int64_t mid = good + (bad - good) / 2;
+        if (robust(mid))
+            good = mid;
+        else
+            bad = mid;
+    }
+    return good;
+}
+
+} // namespace capu

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Training session: owns graph + executor + policy, runs N iterations.
+ *
+ * A Session is the library's top-level entry point (see examples/). It also
+ * provides the max-batch-size search used by the Table 2 / Table 3
+ * reproductions: the largest batch for which training completes without
+ * OomError.
+ */
+
+#ifndef CAPU_EXEC_SESSION_HH
+#define CAPU_EXEC_SESSION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hh"
+#include "graph/graph.hh"
+
+namespace capu
+{
+
+struct SessionResult
+{
+    bool oom = false;
+    std::string oomMessage;
+    std::vector<IterationStats> iterations;
+    GraphStats graphStats;
+
+    /**
+     * Mean images(samples)/sec over iterations after `skip` warm-up
+     * iterations (the paper measures once the policy is stable).
+     */
+    double steadyThroughput(std::int64_t batch, int skip = 2) const;
+
+    /** Mean iteration duration after warm-up. */
+    Tick steadyIterationTicks(int skip = 2) const;
+
+    const IterationStats &last() const;
+};
+
+class Session
+{
+  public:
+    /** Upper bound on policy-requested iteration retries per run(). */
+    static constexpr int kMaxIterationAborts = 6;
+
+    Session(Graph graph, ExecConfig config,
+            std::unique_ptr<MemoryPolicy> policy);
+
+    /**
+     * Run `iterations` training iterations. On OomError the result reports
+     * oom=true and retains the iterations that completed.
+     */
+    SessionResult run(int iterations);
+
+    Executor &executor() { return *exec_; }
+    MemoryPolicy *policy() { return policy_.get(); }
+    const Graph &graph() const { return graph_; }
+
+  private:
+    Graph graph_;
+    ExecConfig config_;
+    std::unique_ptr<MemoryPolicy> policy_;
+    std::unique_ptr<Executor> exec_;
+};
+
+using GraphBuilderFn = std::function<Graph(std::int64_t)>;
+using PolicyFactoryFn = std::function<std::unique_ptr<MemoryPolicy>()>;
+
+/**
+ * Largest batch size in [lo, hi] that trains `iterations` iterations
+ * without OOM (binary search; assumes feasibility is monotone in batch).
+ * Returns 0 if even `lo` fails.
+ */
+std::int64_t findMaxBatch(const GraphBuilderFn &builder,
+                          const PolicyFactoryFn &make_policy,
+                          const ExecConfig &config, int iterations = 3,
+                          std::int64_t lo = 1, std::int64_t hi = 4096);
+
+} // namespace capu
+
+#endif // CAPU_EXEC_SESSION_HH

@@ -1,0 +1,179 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+TensorId
+Graph::addTensor(std::string name, std::uint64_t bytes, TensorKind kind,
+                 std::vector<std::int64_t> shape)
+{
+    TensorDesc t;
+    t.id = static_cast<TensorId>(tensors_.size());
+    t.name = std::move(name);
+    t.bytes = bytes;
+    t.kind = kind;
+    t.shape = std::move(shape);
+    tensors_.push_back(std::move(t));
+    consumers_.emplace_back();
+    return tensors_.back().id;
+}
+
+OpId
+Graph::addOp(Operation op)
+{
+    op.id = static_cast<OpId>(ops_.size());
+    for (TensorId in : op.inputs) {
+        if (in >= tensors_.size())
+            panic("op {} reads unknown tensor {}", op.name, in);
+        consumers_[in].push_back(op.id);
+    }
+    for (TensorId out : op.outputs) {
+        if (out >= tensors_.size())
+            panic("op {} writes unknown tensor {}", op.name, out);
+        if (tensors_[out].producer != kInvalidOp)
+            panic("tensor {} produced twice (ops {} and {})",
+                  tensors_[out].name, tensors_[out].producer, op.id);
+        tensors_[out].producer = op.id;
+    }
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+const TensorDesc &
+Graph::tensor(TensorId id) const
+{
+    if (id >= tensors_.size())
+        panic("tensor id {} out of range", id);
+    return tensors_[id];
+}
+
+const Operation &
+Graph::op(OpId id) const
+{
+    if (id >= ops_.size())
+        panic("op id {} out of range", id);
+    return ops_[id];
+}
+
+Operation &
+Graph::mutableOp(OpId id)
+{
+    if (id >= ops_.size())
+        panic("op id {} out of range", id);
+    return ops_[id];
+}
+
+const std::vector<OpId> &
+Graph::consumers(TensorId id) const
+{
+    if (id >= consumers_.size())
+        panic("tensor id {} out of range", id);
+    return consumers_[id];
+}
+
+std::vector<OpId>
+Graph::topoOrder() const
+{
+    // Edges: producer(op) -> consumer(op) through each tensor.
+    std::vector<std::size_t> indegree(ops_.size(), 0);
+    for (const auto &op : ops_) {
+        for (TensorId in : op.inputs) {
+            if (tensors_[in].producer != kInvalidOp)
+                ++indegree[op.id];
+        }
+    }
+    std::priority_queue<OpId, std::vector<OpId>, std::greater<>> ready;
+    for (const auto &op : ops_) {
+        if (indegree[op.id] == 0)
+            ready.push(op.id);
+    }
+    std::vector<OpId> order;
+    order.reserve(ops_.size());
+    while (!ready.empty()) {
+        OpId id = ready.top();
+        ready.pop();
+        order.push_back(id);
+        for (TensorId out : ops_[id].outputs) {
+            for (OpId c : consumers_[out]) {
+                if (--indegree[c] == 0)
+                    ready.push(c);
+            }
+        }
+    }
+    if (order.size() != ops_.size())
+        fatal("graph {} has a cycle ({} of {} ops ordered)", name_,
+              order.size(), ops_.size());
+    return order;
+}
+
+void
+Graph::validate() const
+{
+    for (const auto &t : tensors_) {
+        if (t.bytes == 0)
+            panic("tensor {} has zero size", t.name);
+        if (t.kind != TensorKind::Weight && t.producer == kInvalidOp &&
+            !consumers_[t.id].empty() &&
+            ops_[consumers_[t.id].front()].category != OpCategory::Source) {
+            // Graph inputs are only legal as Source outputs or weights.
+            panic("non-weight tensor {} consumed but never produced",
+                  t.name);
+        }
+    }
+    for (const auto &op : ops_) {
+        for (TensorId saved : op.savedForBackward) {
+            bool is_io =
+                std::find(op.inputs.begin(), op.inputs.end(), saved) !=
+                    op.inputs.end() ||
+                std::find(op.outputs.begin(), op.outputs.end(), saved) !=
+                    op.outputs.end();
+            if (!is_io)
+                panic("op {} saves tensor {} it neither reads nor writes",
+                      op.name, saved);
+        }
+        if (op.flops < 0 || op.memBytes < 0)
+            panic("op {} has negative cost", op.name);
+    }
+    topoOrder(); // fatal()s on cycle
+}
+
+GraphStats
+Graph::stats() const
+{
+    GraphStats s;
+    s.tensorCount = tensors_.size();
+    s.opCount = ops_.size();
+    for (const auto &t : tensors_) {
+        switch (t.kind) {
+          case TensorKind::Weight: s.weightBytes += t.bytes; break;
+          case TensorKind::FeatureMap: s.featureMapBytes += t.bytes; break;
+          case TensorKind::Gradient: s.gradientBytes += t.bytes; break;
+          default: break;
+        }
+    }
+    for (const auto &op : ops_) {
+        if (op.phase == Phase::Forward)
+            ++s.forwardOps;
+        else if (op.phase == Phase::Backward)
+            ++s.backwardOps;
+    }
+    return s;
+}
+
+std::uint64_t
+Graph::bytesOfKind(TensorKind kind) const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tensors_) {
+        if (t.kind == kind)
+            total += t.bytes;
+    }
+    return total;
+}
+
+} // namespace capu

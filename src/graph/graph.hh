@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The computation graph: owns tensors and operations.
+ *
+ * A Graph is immutable once built (the builders in src/models construct one
+ * per {model, batch size}); executors derive their schedule from
+ * `topoOrder()` and all runtime state lives outside. `validate()` checks the
+ * structural invariants the rest of the system relies on.
+ */
+
+#ifndef CAPU_GRAPH_GRAPH_HH
+#define CAPU_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/operation.hh"
+#include "graph/tensor.hh"
+
+namespace capu
+{
+
+struct GraphStats
+{
+    std::uint64_t weightBytes = 0;
+    std::uint64_t featureMapBytes = 0;
+    std::uint64_t gradientBytes = 0;
+    std::size_t opCount = 0;
+    std::size_t forwardOps = 0;
+    std::size_t backwardOps = 0;
+    std::size_t tensorCount = 0;
+};
+
+class Graph
+{
+  public:
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    /** Add a tensor; returns its id. */
+    TensorId addTensor(std::string name, std::uint64_t bytes, TensorKind kind,
+                       std::vector<std::int64_t> shape = {});
+
+    /**
+     * Add an operation. `op.inputs` must reference existing tensors;
+     * `op.outputs` must reference tensors not yet produced by another op.
+     * Sets producer links. Returns the op id.
+     */
+    OpId addOp(Operation op);
+
+    const std::string &name() const { return name_; }
+
+    const TensorDesc &tensor(TensorId id) const;
+    const Operation &op(OpId id) const;
+    Operation &mutableOp(OpId id);
+
+    std::size_t numTensors() const { return tensors_.size(); }
+    std::size_t numOps() const { return ops_.size(); }
+
+    const std::vector<TensorDesc> &tensors() const { return tensors_; }
+    const std::vector<Operation> &ops() const { return ops_; }
+
+    /** Ops that read `id` (consumer list). */
+    const std::vector<OpId> &consumers(TensorId id) const;
+
+    /**
+     * Deterministic topological order (Kahn's algorithm, ready set ordered
+     * by op id). fatal()s on a cycle.
+     */
+    std::vector<OpId> topoOrder() const;
+
+    /**
+     * Structural self-check: every op input exists, every non-weight tensor
+     * has exactly one producer, graph is acyclic, every feature map that an
+     * op saves for backward is one of that op's inputs or outputs.
+     * Throws PanicError on violation.
+     */
+    void validate() const;
+
+    GraphStats stats() const;
+
+    /** Total bytes of all tensors of a given kind. */
+    std::uint64_t bytesOfKind(TensorKind kind) const;
+
+  private:
+    std::string name_;
+    std::vector<TensorDesc> tensors_;
+    std::vector<Operation> ops_;
+    std::vector<std::vector<OpId>> consumers_;
+};
+
+} // namespace capu
+
+#endif // CAPU_GRAPH_GRAPH_HH

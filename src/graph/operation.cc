@@ -1,0 +1,23 @@
+#include "graph/operation.hh"
+
+namespace capu
+{
+
+const char *
+opCategoryName(OpCategory cat)
+{
+    switch (cat) {
+      case OpCategory::Source: return "source";
+      case OpCategory::Conv: return "conv";
+      case OpCategory::MatMul: return "matmul";
+      case OpCategory::Pool: return "pool";
+      case OpCategory::Elementwise: return "elementwise";
+      case OpCategory::Normalize: return "normalize";
+      case OpCategory::Softmax: return "softmax";
+      case OpCategory::Loss: return "loss";
+      case OpCategory::Update: return "update";
+    }
+    return "?";
+}
+
+} // namespace capu

@@ -1,0 +1,47 @@
+#include "graph/tensor.hh"
+
+#include "support/strfmt.hh"
+#include "support/units.hh"
+
+namespace capu
+{
+
+const char *
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::FeatureMap: return "feature";
+      case TensorKind::Weight: return "weight";
+      case TensorKind::Gradient: return "gradient";
+      case TensorKind::Workspace: return "workspace";
+    }
+    return "?";
+}
+
+const char *
+tensorStatusName(TensorStatus status)
+{
+    switch (status) {
+      case TensorStatus::In: return "IN";
+      case TensorStatus::SwappingOut: return "SWAPPING_OUT";
+      case TensorStatus::Out: return "OUT";
+      case TensorStatus::SwappingIn: return "SWAPPING_IN";
+      case TensorStatus::Recompute: return "RECOMPUTE";
+    }
+    return "?";
+}
+
+std::string
+describeTensor(const TensorDesc &t)
+{
+    std::string dims;
+    for (std::size_t i = 0; i < t.shape.size(); ++i) {
+        if (i)
+            dims += 'x';
+        dims += std::to_string(t.shape[i]);
+    }
+    return fmt("{}[{}] {} ({})", t.name, dims, formatBytes(t.bytes),
+               tensorKindName(t.kind));
+}
+
+} // namespace capu

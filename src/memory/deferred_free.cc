@@ -1,0 +1,47 @@
+#include "memory/deferred_free.hh"
+
+namespace capu
+{
+
+void
+DeferredFreeQueue::post(Tick when, MemHandle handle)
+{
+    heap_.push(Entry{when, nextSeq_++, handle});
+    pendingHandles_.insert(handle);
+}
+
+void
+DeferredFreeQueue::applyUpTo(Tick now, BfcAllocator &alloc)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        alloc.deallocate(heap_.top().handle);
+        auto it = pendingHandles_.find(heap_.top().handle);
+        if (it != pendingHandles_.end())
+            pendingHandles_.erase(it);
+        heap_.pop();
+    }
+}
+
+std::optional<Tick>
+DeferredFreeQueue::nextMaturity() const
+{
+    if (heap_.empty())
+        return std::nullopt;
+    return heap_.top().when;
+}
+
+void
+DeferredFreeQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    pendingHandles_.clear();
+}
+
+bool
+DeferredFreeQueue::isPending(MemHandle handle) const
+{
+    return pendingHandles_.count(handle) > 0;
+}
+
+} // namespace capu

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * BERT-base (Devlin et al., 2018): 12 transformer layers, hidden 768,
+ * 12 heads, FFN 3072, ~110 M parameters, masked-LM pre-training head.
+ *
+ * Built through the ModelBuilder escape hatch because transformer tensors
+ * are {B, S, H} / {B, heads, S, S}, not NCHW. The MLM head's vocabulary
+ * projection produces the graph's largest activations ({B, S, 30522}),
+ * which is why BERT is the paper's most memory-bound workload (7x batch
+ * gain in Table 2).
+ */
+
+#include <algorithm>
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFp32 = 4;
+
+/** Helper bundling the repetitive Operation filling for BERT kernels. */
+class BertNet
+{
+  public:
+    BertNet(ModelBuilder &b, const BertConfig &cfg)
+        : b_(b), cfg_(cfg), batch_(b.batch())
+    {
+    }
+
+    std::uint64_t
+    tokBytes() const
+    {
+        return static_cast<std::uint64_t>(batch_) * cfg_.seqLen * kFp32;
+    }
+
+    std::uint64_t
+    seqBytes(std::int64_t features) const
+    {
+        return static_cast<std::uint64_t>(batch_) * cfg_.seqLen * features *
+               kFp32;
+    }
+
+    /** y = x * W for W: [in_f, out_f]; saves {x, W} for backward. */
+    TensorId
+    matmul(TensorId x, std::int64_t in_f, std::int64_t out_f,
+           const std::string &name)
+    {
+        TensorId w = b_.addWeight(name + ":w",
+                                  static_cast<std::uint64_t>(in_f) * out_f *
+                                      kFp32,
+                                  {in_f, out_f});
+        TensorId y = b_.addActivation(name + ":out", seqBytes(out_f),
+                                      {batch_, cfg_.seqLen, out_f});
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::MatMul;
+        op.inputs = {x, w};
+        op.outputs = {y};
+        op.flops = 2.0 * batch_ * cfg_.seqLen * in_f * out_f;
+        op.memBytes = static_cast<double>(seqBytes(in_f)) +
+                      static_cast<double>(in_f) * out_f * kFp32 +
+                      seqBytes(out_f);
+        op.gradInputs = {x};
+        op.gradParams = {w};
+        op.savedForBackward = {x, w};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    /** Batched attention matmul producing `out_bytes`; saves both inputs. */
+    TensorId
+    attnMatmul(TensorId a, TensorId bten, double flops,
+               std::uint64_t out_bytes, std::vector<std::int64_t> shape,
+               const std::string &name)
+    {
+        TensorId y = b_.addActivation(name + ":out", out_bytes,
+                                      std::move(shape));
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::MatMul;
+        op.inputs = {a, bten};
+        op.outputs = {y};
+        op.flops = flops;
+        op.memBytes = inOutBytes(op);
+        op.gradInputs = {a, bten};
+        op.savedForBackward = {a, bten};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    TensorId
+    softmax(TensorId x, const std::string &name)
+    {
+        std::uint64_t bytes = b_.graph().tensor(x).bytes;
+        TensorId y = b_.addActivation(name + ":out", bytes,
+                                      b_.graph().tensor(x).shape);
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Softmax;
+        op.inputs = {x};
+        op.outputs = {y};
+        op.flops = static_cast<double>(bytes); // ~4 passes over elems
+        op.memBytes = 2.0 * bytes;
+        op.gradInputs = {x};
+        op.savedForBackward = {y};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    TensorId
+    dropout(TensorId x, const std::string &name)
+    {
+        std::uint64_t bytes = b_.graph().tensor(x).bytes;
+        TensorId y = b_.addActivation(name + ":out", bytes,
+                                      b_.graph().tensor(x).shape);
+        TensorId mask = b_.addActivation(name + ":mask", bytes / kFp32,
+                                         b_.graph().tensor(x).shape);
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Elementwise;
+        op.inputs = {x};
+        op.outputs = {y, mask};
+        op.flops = static_cast<double>(bytes) / kFp32;
+        op.memBytes = 2.25 * bytes;
+        op.gradInputs = {x};
+        op.savedForBackward = {mask};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    TensorId
+    gelu(TensorId x, const std::string &name)
+    {
+        std::uint64_t bytes = b_.graph().tensor(x).bytes;
+        TensorId y = b_.addActivation(name + ":out", bytes,
+                                      b_.graph().tensor(x).shape);
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Elementwise;
+        op.inputs = {x};
+        op.outputs = {y};
+        op.flops = 8.0 * static_cast<double>(bytes) / kFp32;
+        op.memBytes = 2.0 * bytes;
+        op.gradInputs = {x};
+        op.savedForBackward = {x};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    TensorId
+    add(TensorId a, TensorId bten, const std::string &name)
+    {
+        std::uint64_t bytes = b_.graph().tensor(a).bytes;
+        TensorId y = b_.addActivation(name + ":out", bytes,
+                                      b_.graph().tensor(a).shape);
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Elementwise;
+        op.inputs = {a, bten};
+        op.outputs = {y};
+        op.flops = static_cast<double>(bytes) / kFp32;
+        op.memBytes = 3.0 * bytes;
+        op.inplaceEligible = true;
+        op.gradInputs = {a, bten};
+        op.savedForBackward = {};
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    TensorId
+    layernorm(TensorId x, const std::string &name)
+    {
+        std::uint64_t bytes = b_.graph().tensor(x).bytes;
+        TensorId gamma = b_.addWeight(name + ":gamma",
+                                      2 * cfg_.hidden * kFp32,
+                                      {2, cfg_.hidden});
+        TensorId y = b_.addActivation(name + ":out", bytes,
+                                      b_.graph().tensor(x).shape);
+        // Per-token mean/invstd saved for backward.
+        TensorId stats = b_.addActivation(
+            name + ":stats", 2 * tokBytes(), {batch_, cfg_.seqLen, 2});
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Normalize;
+        op.inputs = {x, gamma};
+        op.outputs = {y, stats};
+        op.flops = 8.0 * static_cast<double>(bytes) / kFp32;
+        op.memBytes = 3.0 * bytes;
+        op.gradInputs = {x};
+        op.gradParams = {gamma};
+        op.savedForBackward = {x, stats};
+        op.bwdFlopsScale = 1.5;
+        b_.addForward(std::move(op));
+        return y;
+    }
+
+    /** One transformer encoder layer. */
+    TensorId
+    encoderLayer(TensorId x, int index)
+    {
+        const std::string p = "layer" + std::to_string(index);
+        const std::int64_t H = cfg_.hidden;
+        const std::uint64_t score_bytes = static_cast<std::uint64_t>(batch_) *
+                                          cfg_.heads * cfg_.seqLen *
+                                          cfg_.seqLen * kFp32;
+        const double score_flops =
+            2.0 * batch_ * cfg_.seqLen * cfg_.seqLen * H;
+
+        TensorId q = matmul(x, H, H, p + ":q");
+        TensorId k = matmul(x, H, H, p + ":k");
+        TensorId v = matmul(x, H, H, p + ":v");
+
+        TensorId scores = attnMatmul(
+            q, k, score_flops, score_bytes,
+            {batch_, cfg_.heads, cfg_.seqLen, cfg_.seqLen}, p + ":scores");
+        TensorId probs = softmax(scores, p + ":attn_softmax");
+        probs = dropout(probs, p + ":attn_dropout");
+        TensorId ctx = attnMatmul(probs, v, score_flops, seqBytes(H),
+                                  {batch_, cfg_.seqLen, H}, p + ":context");
+        TensorId proj = matmul(ctx, H, H, p + ":attn_proj");
+        proj = dropout(proj, p + ":proj_dropout");
+        TensorId res1 = add(x, proj, p + ":residual1");
+        TensorId ln1 = layernorm(res1, p + ":ln1");
+
+        TensorId ffn = matmul(ln1, H, cfg_.ffnHidden, p + ":ffn1");
+        ffn = gelu(ffn, p + ":gelu");
+        ffn = matmul(ffn, cfg_.ffnHidden, H, p + ":ffn2");
+        ffn = dropout(ffn, p + ":ffn_dropout");
+        TensorId res2 = add(ln1, ffn, p + ":residual2");
+        return layernorm(res2, p + ":ln2");
+    }
+
+  private:
+    ModelBuilder &b_;
+    BertConfig cfg_;
+    std::int64_t batch_;
+
+    double
+    inOutBytes(const Operation &op) const
+    {
+        double total = 0;
+        for (TensorId t : op.inputs)
+            total += static_cast<double>(b_.graph().tensor(t).bytes);
+        for (TensorId t : op.outputs)
+            total += static_cast<double>(b_.graph().tensor(t).bytes);
+        return total;
+    }
+};
+
+} // namespace
+
+Graph
+buildBert(std::int64_t batch, const BertConfig &cfg)
+{
+    ModelBuilder b("BERT", batch);
+    BertNet net(b, cfg);
+
+    // Token ids: int32 {B, S}, from the data pipeline (not differentiable).
+    TensorId tokens = b.addActivation("tokens", net.tokBytes(),
+                                      {batch, cfg.seqLen});
+    {
+        Operation src;
+        src.name = "token_source";
+        src.category = OpCategory::Source;
+        src.outputs = {tokens};
+        src.memBytes = static_cast<double>(net.tokBytes());
+        src.recomputable = false;
+        b.addForward(std::move(src));
+    }
+
+    // Embedding lookup: gather rows of the [vocab, H] table; the backward
+    // pass is a scatter-add that re-reads the token indices.
+    TensorId emb_w = b.addWeight(
+        "embedding:w",
+        static_cast<std::uint64_t>(cfg.vocab) * cfg.hidden * 4,
+        {cfg.vocab, cfg.hidden});
+    TensorId pos_w = b.addWeight(
+        "pos_embedding:w",
+        static_cast<std::uint64_t>(cfg.seqLen) * cfg.hidden * 4,
+        {cfg.seqLen, cfg.hidden});
+    TensorId emb = b.addActivation("embedding:out", net.seqBytes(cfg.hidden),
+                                   {batch, cfg.seqLen, cfg.hidden});
+    {
+        Operation op;
+        op.name = "embedding";
+        op.category = OpCategory::Elementwise;
+        op.inputs = {tokens, emb_w, pos_w};
+        op.outputs = {emb};
+        op.flops = static_cast<double>(net.seqBytes(cfg.hidden)) / 4;
+        op.memBytes = 2.0 * net.seqBytes(cfg.hidden);
+        op.gradParams = {emb_w, pos_w};
+        op.savedForBackward = {tokens};
+        b.addForward(std::move(op));
+    }
+
+    TensorId x = net.layernorm(emb, "embed_ln");
+    x = net.dropout(x, "embed_dropout");
+
+    for (int i = 0; i < cfg.layers; ++i)
+        x = net.encoderLayer(x, i);
+
+    // Masked-LM head: only the ~15% masked positions are gathered and
+    // projected onto the vocabulary (predicting every position would need
+    // a {B, S, vocab} logits tensor that no 16 GB card could hold).
+    const auto masked = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(cfg.seqLen * cfg.maskedFraction));
+    const std::uint64_t masked_h_bytes =
+        static_cast<std::uint64_t>(batch) * masked * cfg.hidden * 4;
+    const std::uint64_t masked_v_bytes =
+        static_cast<std::uint64_t>(batch) * masked * cfg.vocab * 4;
+
+    TensorId gathered = b.addActivation("mlm:gathered", masked_h_bytes,
+                                        {batch, masked, cfg.hidden});
+    {
+        Operation op;
+        op.name = "mlm_gather";
+        op.category = OpCategory::Elementwise;
+        op.inputs = {x, tokens};
+        op.outputs = {gathered};
+        op.flops = static_cast<double>(masked_h_bytes) / 4;
+        op.memBytes = static_cast<double>(masked_h_bytes) * 2;
+        op.gradInputs = {x};
+        op.savedForBackward = {tokens}; // mask positions
+        b.addForward(std::move(op));
+    }
+
+    TensorId w_tr = b.addWeight(
+        "mlm:transform:w",
+        static_cast<std::uint64_t>(cfg.hidden) * cfg.hidden * 4,
+        {cfg.hidden, cfg.hidden});
+    TensorId transform = b.addActivation("mlm:transform:out", masked_h_bytes,
+                                         {batch, masked, cfg.hidden});
+    {
+        Operation op;
+        op.name = "mlm_transform";
+        op.category = OpCategory::MatMul;
+        op.inputs = {gathered, w_tr};
+        op.outputs = {transform};
+        op.flops = 2.0 * batch * masked * cfg.hidden * cfg.hidden;
+        op.memBytes = 2.0 * masked_h_bytes +
+                      static_cast<double>(cfg.hidden) * cfg.hidden * 4;
+        op.gradInputs = {gathered};
+        op.gradParams = {w_tr};
+        op.savedForBackward = {gathered, w_tr};
+        b.addForward(std::move(op));
+    }
+
+    TensorId w_out = b.addWeight(
+        "mlm:logits:w",
+        static_cast<std::uint64_t>(cfg.hidden) * cfg.vocab * 4,
+        {cfg.hidden, cfg.vocab});
+    TensorId logits = b.addActivation("mlm:logits:out", masked_v_bytes,
+                                      {batch, masked, cfg.vocab});
+    {
+        Operation op;
+        op.name = "mlm_logits";
+        op.category = OpCategory::MatMul;
+        op.inputs = {transform, w_out};
+        op.outputs = {logits};
+        op.flops = 2.0 * batch * masked * cfg.hidden * cfg.vocab;
+        op.memBytes = static_cast<double>(masked_h_bytes) + masked_v_bytes +
+                      static_cast<double>(cfg.hidden) * cfg.vocab * 4;
+        op.gradInputs = {transform};
+        op.gradParams = {w_out};
+        op.savedForBackward = {transform, w_out};
+        b.addForward(std::move(op));
+    }
+
+    TensorId probs = net.softmax(logits, "mlm:softmax");
+
+    TensorId loss = b.addActivation("loss:out",
+                                    static_cast<std::uint64_t>(batch) * 4,
+                                    {batch});
+    {
+        Operation op;
+        op.name = "mlm_loss";
+        op.category = OpCategory::Loss;
+        op.inputs = {probs};
+        op.outputs = {loss};
+        op.flops = static_cast<double>(masked_v_bytes) / 4;
+        op.memBytes = static_cast<double>(masked_v_bytes);
+        op.gradInputs = {probs};
+        op.savedForBackward = {probs};
+        b.addForward(std::move(op));
+    }
+
+    return b.finalize(loss);
+}
+
+} // namespace capu

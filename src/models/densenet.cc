@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DenseNet-121 (Huang et al., 2017), growth rate 32, blocks {6,12,24,16}.
+ *
+ * Dense connectivity makes every block output feed *all* later layers of
+ * its block via concat — the densest multi-consumer pattern in the zoo and
+ * the paper's second eager-mode workload (Table 3 / Figure 10b).
+ */
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+/** BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k), concatenated onto the input. */
+TensorId
+denseLayer(ModelBuilder &b, TensorId in, std::int64_t growth)
+{
+    TensorId t = b.relu(b.batchnorm(in));
+    t = b.conv2d(t, 4 * growth, 1, 1, 0);
+    t = b.relu(b.batchnorm(t));
+    t = b.conv2d(t, growth, 3);
+    return b.concat({in, t});
+}
+
+TensorId
+transition(ModelBuilder &b, TensorId in, std::int64_t out_c)
+{
+    TensorId t = b.relu(b.batchnorm(in));
+    t = b.conv2d(t, out_c, 1, 1, 0);
+    return b.avgpool(t, 2, 2);
+}
+
+} // namespace
+
+Graph
+buildDenseNet121(std::int64_t batch)
+{
+    constexpr std::int64_t growth = 32;
+    const int blocks[] = {6, 12, 24, 16};
+
+    ModelBuilder b("DenseNet-121", batch);
+    TensorId x = b.input(3, 224, 224);
+    x = b.convBnRelu(x, 64, 7, 2, 3, "conv1");
+    x = b.maxpool(x, 3, 2, 1); // 56x56x64
+
+    std::int64_t channels = 64;
+    for (int bi = 0; bi < 4; ++bi) {
+        for (int li = 0; li < blocks[bi]; ++li) {
+            x = denseLayer(b, x, growth);
+            channels += growth;
+        }
+        if (bi != 3) {
+            channels /= 2;
+            x = transition(b, x, channels);
+        }
+    }
+
+    x = b.relu(b.batchnorm(x));
+    x = b.globalAvgPool(x);
+    x = b.fc(x, 1000);
+    return b.finalize(b.softmaxLoss(x));
+}
+
+} // namespace capu

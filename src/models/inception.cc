@@ -1,0 +1,245 @@
+/**
+ * @file
+ * InceptionV3 and InceptionV4 (Szegedy et al., 2016).
+ *
+ * Both use 299x299 inputs. V3 has 94-ish convolutions whose execution times
+ * span a ~37x range (Figure 2's motivation); V4 deepens the stem and widens
+ * every block. Branch+concat structure produces many small tensors with
+ * short forward-reuse distances plus a few large concat outputs with long
+ * ones — the mix Capuchin's quantitative ranking is designed for.
+ */
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+/** 35x35 block, V3 ("InceptionA"). `pool_c` grows 32 -> 64 across uses. */
+TensorId
+v3BlockA(ModelBuilder &b, TensorId in, std::int64_t pool_c)
+{
+    TensorId b1 = b.convBnRelu(in, 64, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(b.convBnRelu(in, 48, 1, 1, 0), 64, 5);
+    TensorId b3 = b.convBnRelu(in, 64, 1, 1, 0);
+    b3 = b.convBnRelu(b3, 96, 3);
+    b3 = b.convBnRelu(b3, 96, 3);
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), pool_c, 1, 1, 0);
+    return b.concat({b1, b2, b3, b4});
+}
+
+/** 35 -> 17 grid reduction, V3. */
+TensorId
+v3ReductionA(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 384, 3, 2, 0);
+    TensorId b2 = b.convBnRelu(in, 64, 1, 1, 0);
+    b2 = b.convBnRelu(b2, 96, 3);
+    b2 = b.convBnRelu(b2, 96, 3, 2, 0);
+    TensorId b3 = b.maxpool(in, 3, 2);
+    return b.concat({b1, b2, b3});
+}
+
+/** 17x17 block with factorized 7x7 convs, V3 ("InceptionB"). */
+TensorId
+v3BlockB(ModelBuilder &b, TensorId in, std::int64_t mid_c)
+{
+    TensorId b1 = b.convBnRelu(in, 192, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(in, mid_c, 1, 1, 0);
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, mid_c, 1, 7)));
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 192, 7, 1)));
+    TensorId b3 = b.convBnRelu(in, mid_c, 1, 1, 0);
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, mid_c, 7, 1)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, mid_c, 1, 7)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, mid_c, 7, 1)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 192, 1, 7)));
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), 192, 1, 1, 0);
+    return b.concat({b1, b2, b3, b4});
+}
+
+/** 17 -> 8 grid reduction, V3. */
+TensorId
+v3ReductionB(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 192, 1, 1, 0);
+    b1 = b.convBnRelu(b1, 320, 3, 2, 0);
+    TensorId b2 = b.convBnRelu(in, 192, 1, 1, 0);
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 192, 1, 7)));
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 192, 7, 1)));
+    b2 = b.convBnRelu(b2, 192, 3, 2, 0);
+    TensorId b3 = b.maxpool(in, 3, 2);
+    return b.concat({b1, b2, b3});
+}
+
+/** 8x8 block with split 3x1/1x3 towers, V3 ("InceptionC"). */
+TensorId
+v3BlockC(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 320, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(in, 384, 1, 1, 0);
+    TensorId b2a = b.relu(b.batchnorm(b.conv2dAsym(b2, 384, 1, 3)));
+    TensorId b2b = b.relu(b.batchnorm(b.conv2dAsym(b2, 384, 3, 1)));
+    TensorId b3 = b.convBnRelu(in, 448, 1, 1, 0);
+    b3 = b.convBnRelu(b3, 384, 3);
+    TensorId b3a = b.relu(b.batchnorm(b.conv2dAsym(b3, 384, 1, 3)));
+    TensorId b3b = b.relu(b.batchnorm(b.conv2dAsym(b3, 384, 3, 1)));
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), 192, 1, 1, 0);
+    return b.concat({b1, b2a, b2b, b3a, b3b, b4});
+}
+
+} // namespace
+
+Graph
+buildInceptionV3(std::int64_t batch)
+{
+    ModelBuilder b("InceptionV3", batch);
+    TensorId x = b.input(3, 299, 299);
+
+    // Stem: 299 -> 35, 192 channels.
+    x = b.convBnRelu(x, 32, 3, 2, 0); // 149
+    x = b.convBnRelu(x, 32, 3, 1, 0); // 147
+    x = b.convBnRelu(x, 64, 3);       // 147
+    x = b.maxpool(x, 3, 2);           // 73
+    x = b.convBnRelu(x, 80, 1, 1, 0); // 73
+    x = b.convBnRelu(x, 192, 3, 1, 0); // 71
+    x = b.maxpool(x, 3, 2);           // 35
+
+    x = v3BlockA(b, x, 32);
+    x = v3BlockA(b, x, 64);
+    x = v3BlockA(b, x, 64);
+    x = v3ReductionA(b, x); // 17x17x768
+    x = v3BlockB(b, x, 128);
+    x = v3BlockB(b, x, 160);
+    x = v3BlockB(b, x, 160);
+    x = v3BlockB(b, x, 192);
+    x = v3ReductionB(b, x); // 8x8x1280
+    x = v3BlockC(b, x);
+    x = v3BlockC(b, x); // 8x8x2048
+
+    x = b.globalAvgPool(x);
+    x = b.dropout(x);
+    x = b.fc(x, 1000);
+    return b.finalize(b.softmaxLoss(x));
+}
+
+namespace
+{
+
+TensorId
+v4Stem(ModelBuilder &b, TensorId in)
+{
+    TensorId x = b.convBnRelu(in, 32, 3, 2, 0); // 149
+    x = b.convBnRelu(x, 32, 3, 1, 0);           // 147
+    x = b.convBnRelu(x, 64, 3);                 // 147
+
+    TensorId p1 = b.maxpool(x, 3, 2);           // 73
+    TensorId p2 = b.convBnRelu(x, 96, 3, 2, 0); // 73
+    x = b.concat({p1, p2});                     // 73x73x160
+
+    TensorId q1 = b.convBnRelu(x, 64, 1, 1, 0);
+    q1 = b.convBnRelu(q1, 96, 3, 1, 0); // 71
+    TensorId q2 = b.convBnRelu(x, 64, 1, 1, 0);
+    q2 = b.relu(b.batchnorm(b.conv2dAsym(q2, 64, 1, 7)));
+    q2 = b.relu(b.batchnorm(b.conv2dAsym(q2, 64, 7, 1)));
+    q2 = b.convBnRelu(q2, 96, 3, 1, 0); // 71
+    x = b.concat({q1, q2});             // 71x71x192
+
+    TensorId r1 = b.convBnRelu(x, 192, 3, 2, 0); // 35
+    TensorId r2 = b.maxpool(x, 3, 2);            // 35
+    return b.concat({r1, r2});                   // 35x35x384
+}
+
+TensorId
+v4BlockA(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 96, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(b.convBnRelu(in, 64, 1, 1, 0), 96, 3);
+    TensorId b3 = b.convBnRelu(in, 64, 1, 1, 0);
+    b3 = b.convBnRelu(b3, 96, 3);
+    b3 = b.convBnRelu(b3, 96, 3);
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), 96, 1, 1, 0);
+    return b.concat({b1, b2, b3, b4}); // 384
+}
+
+TensorId
+v4ReductionA(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 384, 3, 2, 0);
+    TensorId b2 = b.convBnRelu(in, 192, 1, 1, 0);
+    b2 = b.convBnRelu(b2, 224, 3);
+    b2 = b.convBnRelu(b2, 256, 3, 2, 0);
+    TensorId b3 = b.maxpool(in, 3, 2);
+    return b.concat({b1, b2, b3}); // 17x17x1024
+}
+
+TensorId
+v4BlockB(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 384, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(in, 192, 1, 1, 0);
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 224, 1, 7)));
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 256, 7, 1)));
+    TensorId b3 = b.convBnRelu(in, 192, 1, 1, 0);
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 192, 7, 1)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 224, 1, 7)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 224, 7, 1)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 256, 1, 7)));
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), 128, 1, 1, 0);
+    return b.concat({b1, b2, b3, b4}); // 1024
+}
+
+TensorId
+v4ReductionB(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 192, 1, 1, 0);
+    b1 = b.convBnRelu(b1, 192, 3, 2, 0);
+    TensorId b2 = b.convBnRelu(in, 256, 1, 1, 0);
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 256, 1, 7)));
+    b2 = b.relu(b.batchnorm(b.conv2dAsym(b2, 320, 7, 1)));
+    b2 = b.convBnRelu(b2, 320, 3, 2, 0);
+    TensorId b3 = b.maxpool(in, 3, 2);
+    return b.concat({b1, b2, b3}); // 8x8x1536
+}
+
+TensorId
+v4BlockC(ModelBuilder &b, TensorId in)
+{
+    TensorId b1 = b.convBnRelu(in, 256, 1, 1, 0);
+    TensorId b2 = b.convBnRelu(in, 384, 1, 1, 0);
+    TensorId b2a = b.relu(b.batchnorm(b.conv2dAsym(b2, 256, 1, 3)));
+    TensorId b2b = b.relu(b.batchnorm(b.conv2dAsym(b2, 256, 3, 1)));
+    TensorId b3 = b.convBnRelu(in, 384, 1, 1, 0);
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 448, 1, 3)));
+    b3 = b.relu(b.batchnorm(b.conv2dAsym(b3, 512, 3, 1)));
+    TensorId b3a = b.relu(b.batchnorm(b.conv2dAsym(b3, 256, 3, 1)));
+    TensorId b3b = b.relu(b.batchnorm(b.conv2dAsym(b3, 256, 1, 3)));
+    TensorId b4 = b.convBnRelu(b.avgpool(in, 3, 1, 1), 256, 1, 1, 0);
+    return b.concat({b1, b2a, b2b, b3a, b3b, b4}); // 1536
+}
+
+} // namespace
+
+Graph
+buildInceptionV4(std::int64_t batch)
+{
+    ModelBuilder b("InceptionV4", batch);
+    TensorId x = b.input(3, 299, 299);
+    x = v4Stem(b, x);
+    for (int i = 0; i < 4; ++i)
+        x = v4BlockA(b, x);
+    x = v4ReductionA(b, x);
+    for (int i = 0; i < 7; ++i)
+        x = v4BlockB(b, x);
+    x = v4ReductionB(b, x);
+    for (int i = 0; i < 3; ++i)
+        x = v4BlockC(b, x);
+    x = b.globalAvgPool(x);
+    x = b.dropout(x);
+    x = b.fc(x, 1000);
+    return b.finalize(b.softmaxLoss(x));
+}
+
+} // namespace capu

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Stacked-LSTM language model (extension workload, not in the paper's
+ * Table 1 — its §3.2 notes the access-pattern regularity also holds for
+ * "speech" workloads, which are RNN-shaped).
+ *
+ * An unrolled RNN stresses the memory manager differently from CNNs and
+ * Transformers: the *same weight tensors* are read at every timestep
+ * (hundreds of accesses per iteration instead of 2-4), per-timestep
+ * activations are small but extremely numerous, and the backward pass
+ * walks the timesteps in reverse, so the reuse distance of step t's
+ * activations is proportional to 2*(T - t).
+ */
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFp32 = 4;
+
+/** One LSTM cell step: gates = [x, h] x W; (c, h) updated elementwise. */
+struct LstmLayer
+{
+    ModelBuilder &b;
+    std::int64_t batch;
+    std::int64_t hidden;
+    TensorId weight; // [(input+hidden), 4*hidden]
+
+    LstmLayer(ModelBuilder &builder, std::int64_t input_dim,
+              std::int64_t hidden_dim, const std::string &name)
+        : b(builder), batch(builder.batch()), hidden(hidden_dim)
+    {
+        weight = b.addWeight(
+            name + ":w",
+            static_cast<std::uint64_t>(input_dim + hidden_dim) * 4 *
+                hidden_dim * kFp32,
+            {input_dim + hidden_dim, 4 * hidden_dim});
+    }
+
+    std::uint64_t
+    stateBytes() const
+    {
+        return static_cast<std::uint64_t>(batch) * hidden * kFp32;
+    }
+
+    /** Returns {h_t, c_t} given x_t and the previous state. */
+    std::pair<TensorId, TensorId>
+    step(TensorId x, TensorId h_prev, TensorId c_prev,
+         const std::string &name)
+    {
+        // Gate pre-activations: one fused matmul over [x, h_prev].
+        TensorId gates = b.addActivation(name + ":gates", 4 * stateBytes(),
+                                         {batch, 4 * hidden});
+        Operation mm;
+        mm.name = name + ":gemm";
+        mm.category = OpCategory::MatMul;
+        mm.inputs = {x, h_prev, weight};
+        mm.outputs = {gates};
+        double in_dim =
+            static_cast<double>(b.graph().tensor(weight).bytes) / kFp32 /
+            (4 * hidden);
+        mm.flops = 2.0 * batch * in_dim * 4 * hidden;
+        mm.memBytes = static_cast<double>(
+            b.graph().tensor(x).bytes + b.graph().tensor(h_prev).bytes +
+            b.graph().tensor(weight).bytes +
+            b.graph().tensor(gates).bytes);
+        mm.gradInputs = {x, h_prev};
+        mm.gradParams = {weight};
+        mm.savedForBackward = {x, h_prev, weight};
+        b.addForward(std::move(mm));
+
+        // Elementwise cell update; cuDNN saves the gate activations.
+        TensorId h = b.addActivation(name + ":h", stateBytes(),
+                                     {batch, hidden});
+        TensorId c = b.addActivation(name + ":c", stateBytes(),
+                                     {batch, hidden});
+        Operation cell;
+        cell.name = name + ":cell";
+        cell.category = OpCategory::Elementwise;
+        cell.inputs = {gates, c_prev};
+        cell.outputs = {h, c};
+        cell.flops = 20.0 * batch * hidden; // 4 nonlinearities + products
+        cell.memBytes = static_cast<double>(6 * stateBytes());
+        cell.gradInputs = {gates, c_prev};
+        cell.savedForBackward = {gates, c};
+        b.addForward(std::move(cell));
+        return {h, c};
+    }
+};
+
+} // namespace
+
+Graph
+buildLstm(std::int64_t batch, const LstmConfig &cfg)
+{
+    ModelBuilder b("LSTM", batch);
+
+    // Token embeddings for each timestep come from one Source op (the
+    // lookup itself is trivial next to the recurrent matmuls).
+    std::uint64_t step_bytes =
+        static_cast<std::uint64_t>(batch) * cfg.embedDim * kFp32;
+    std::vector<TensorId> inputs;
+    {
+        Operation src;
+        src.name = "token_source";
+        src.category = OpCategory::Source;
+        src.recomputable = false;
+        for (std::int64_t t = 0; t < cfg.timesteps; ++t) {
+            TensorId x = b.addActivation("x" + std::to_string(t),
+                                         step_bytes,
+                                         {batch, cfg.embedDim});
+            src.outputs.push_back(x);
+            inputs.push_back(x);
+        }
+        src.memBytes = static_cast<double>(step_bytes) * cfg.timesteps;
+        b.addForward(std::move(src));
+    }
+
+    // Initial states: persistent zeros modelled as weights.
+    std::vector<LstmLayer> layers;
+    std::vector<TensorId> h(cfg.layers), c(cfg.layers);
+    for (std::int64_t l = 0; l < cfg.layers; ++l) {
+        std::int64_t in_dim = l == 0 ? cfg.embedDim : cfg.hidden;
+        layers.emplace_back(b, in_dim, cfg.hidden,
+                            "lstm" + std::to_string(l));
+        h[l] = b.addWeight(fmt("h0_{}", l), layers[l].stateBytes());
+        c[l] = b.addWeight(fmt("c0_{}", l), layers[l].stateBytes());
+    }
+
+    // Unroll: the output of each timestep's top layer feeds the loss head.
+    std::vector<TensorId> tops;
+    for (std::int64_t t = 0; t < cfg.timesteps; ++t) {
+        TensorId x = inputs[static_cast<std::size_t>(t)];
+        for (std::int64_t l = 0; l < cfg.layers; ++l) {
+            auto [nh, nc] = layers[static_cast<std::size_t>(l)].step(
+                x, h[l], c[l], fmt("l{}t{}", l, t));
+            h[l] = nh;
+            c[l] = nc;
+            x = nh;
+        }
+        tops.push_back(x);
+    }
+
+    // Loss head: project the final hidden state onto the vocabulary
+    // (full per-step projection would dominate memory like BERT's MLM
+    // head; last-step prediction keeps the recurrent part the subject).
+    TensorId logits = b.addActivation(
+        "logits", static_cast<std::uint64_t>(batch) * cfg.vocab * kFp32,
+        {batch, cfg.vocab});
+    TensorId w_out = b.addWeight(
+        "proj:w",
+        static_cast<std::uint64_t>(cfg.hidden) * cfg.vocab * kFp32);
+    {
+        Operation op;
+        op.name = "proj";
+        op.category = OpCategory::MatMul;
+        op.inputs = {tops.back(), w_out};
+        op.outputs = {logits};
+        op.flops = 2.0 * batch * cfg.hidden * cfg.vocab;
+        op.memBytes = static_cast<double>(
+            b.graph().tensor(tops.back()).bytes +
+            b.graph().tensor(w_out).bytes + b.graph().tensor(logits).bytes);
+        op.gradInputs = {tops.back()};
+        op.gradParams = {w_out};
+        op.savedForBackward = {tops.back(), w_out};
+        b.addForward(std::move(op));
+    }
+    TensorId loss = b.addActivation(
+        "loss:out", static_cast<std::uint64_t>(batch) * kFp32, {batch});
+    {
+        Operation op;
+        op.name = "loss";
+        op.category = OpCategory::Loss;
+        op.inputs = {logits};
+        op.outputs = {loss};
+        op.flops = static_cast<double>(batch) * cfg.vocab;
+        op.memBytes = static_cast<double>(b.graph().tensor(logits).bytes);
+        op.gradInputs = {logits};
+        op.savedForBackward = {logits};
+        b.addForward(std::move(op));
+    }
+
+    return b.finalize(loss);
+}
+
+} // namespace capu

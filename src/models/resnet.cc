@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ResNet-50 / ResNet-152 (He et al., 2016), bottleneck variant.
+ *
+ * Stage plan: {3,4,6,3} for depth 50 and {3,8,36,3} for depth 152, widths
+ * 64/128/256/512 with 4x expansion. Skip connections make several feature
+ * maps multi-consumer, exercising the gradient-accumulation path of
+ * autograd and the multi-access tensor patterns of Figure 3.
+ */
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+#include "support/logging.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+TensorId
+bottleneck(ModelBuilder &b, TensorId in, std::int64_t width,
+           std::int64_t stride, bool project)
+{
+    TensorId shortcut = in;
+    if (project) {
+        shortcut = b.batchnorm(
+            b.conv2d(in, width * 4, 1, stride, 0, "conv_proj"));
+    }
+    TensorId t = b.convBnRelu(in, width, 1, 1, 0);
+    t = b.convBnRelu(t, width, 3, stride);
+    t = b.batchnorm(b.conv2d(t, width * 4, 1, 1, 0));
+    return b.relu(b.add(t, shortcut));
+}
+
+} // namespace
+
+Graph
+buildResNet(std::int64_t batch, int depth)
+{
+    std::vector<int> stages;
+    if (depth == 50) {
+        stages = {3, 4, 6, 3};
+    } else if (depth == 152) {
+        stages = {3, 8, 36, 3};
+    } else {
+        fatal("unsupported ResNet depth {}", depth);
+    }
+
+    ModelBuilder b("ResNet-" + std::to_string(depth), batch);
+    TensorId x = b.input(3, 224, 224);
+    x = b.convBnRelu(x, 64, 7, 2, 3, "conv1");
+    x = b.maxpool(x, 3, 2, 1); // 56x56
+
+    std::int64_t width = 64;
+    for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+        for (int i = 0; i < stages[stage]; ++i) {
+            std::int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+            bool project = (i == 0);
+            x = bottleneck(b, x, width, stride, project);
+        }
+        width *= 2;
+    }
+
+    x = b.globalAvgPool(x);
+    x = b.fc(x, 1000);
+    return b.finalize(b.softmaxLoss(x));
+}
+
+} // namespace capu

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * VGG-16 (Simonyan & Zisserman, 2014): 13 conv + 3 FC layers, no batchnorm.
+ *
+ * The paper highlights VGG16's "rigid" memory demand: the first conv/ReLU
+ * pair at batch ~230 needs ~6 GB for its input+output alone, which no
+ * eviction scheme can reduce — this caps Capuchin's batch gain (Table 2).
+ */
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+
+namespace capu
+{
+
+Graph
+buildVgg16(std::int64_t batch)
+{
+    ModelBuilder b("Vgg16", batch);
+    TensorId x = b.input(3, 224, 224);
+
+    auto block = [&](TensorId in, std::int64_t channels, int convs) {
+        TensorId t = in;
+        for (int i = 0; i < convs; ++i)
+            t = b.relu(b.conv2d(t, channels, 3));
+        return b.maxpool(t, 2, 2);
+    };
+
+    x = block(x, 64, 2);
+    x = block(x, 128, 2);
+    x = block(x, 256, 3);
+    x = block(x, 512, 3);
+    x = block(x, 512, 3); // 7x7x512
+
+    x = b.dropout(b.relu(b.fc(x, 4096)));
+    x = b.dropout(b.relu(b.fc(x, 4096)));
+    x = b.fc(x, 1000);
+    return b.finalize(b.softmaxLoss(x));
+}
+
+} // namespace capu

@@ -1,0 +1,61 @@
+#include "models/zoo.hh"
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Vgg16: return "Vgg16";
+      case ModelKind::ResNet50: return "ResNet-50";
+      case ModelKind::ResNet152: return "ResNet-152";
+      case ModelKind::InceptionV3: return "InceptionV3";
+      case ModelKind::InceptionV4: return "InceptionV4";
+      case ModelKind::DenseNet121: return "DenseNet";
+      case ModelKind::BertBase: return "BERT";
+    }
+    return "?";
+}
+
+std::vector<ModelKind>
+allModels()
+{
+    return {ModelKind::Vgg16,       ModelKind::ResNet50,
+            ModelKind::ResNet152,   ModelKind::InceptionV3,
+            ModelKind::InceptionV4, ModelKind::DenseNet121,
+            ModelKind::BertBase};
+}
+
+std::vector<ModelKind>
+graphModeModels()
+{
+    return {ModelKind::Vgg16,       ModelKind::ResNet50,
+            ModelKind::ResNet152,   ModelKind::InceptionV3,
+            ModelKind::InceptionV4, ModelKind::BertBase};
+}
+
+std::vector<ModelKind>
+eagerModeModels()
+{
+    return {ModelKind::ResNet50, ModelKind::DenseNet121};
+}
+
+Graph
+buildModel(ModelKind kind, std::int64_t batch)
+{
+    switch (kind) {
+      case ModelKind::Vgg16: return buildVgg16(batch);
+      case ModelKind::ResNet50: return buildResNet(batch, 50);
+      case ModelKind::ResNet152: return buildResNet(batch, 152);
+      case ModelKind::InceptionV3: return buildInceptionV3(batch);
+      case ModelKind::InceptionV4: return buildInceptionV4(batch);
+      case ModelKind::DenseNet121: return buildDenseNet121(batch);
+      case ModelKind::BertBase: return buildBert(batch);
+    }
+    fatal("unknown model kind");
+}
+
+} // namespace capu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The model zoo: builders for the paper's seven evaluation workloads.
+ *
+ * Each builder returns a full training graph (forward + backward + updates)
+ * for the given batch size, with layer dimensions taken from the papers
+ * defining each architecture. These are the workloads of Table 1.
+ */
+
+#ifndef CAPU_MODELS_ZOO_HH
+#define CAPU_MODELS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace capu
+{
+
+enum class ModelKind
+{
+    Vgg16,
+    ResNet50,
+    ResNet152,
+    InceptionV3,
+    InceptionV4,
+    DenseNet121,
+    BertBase,
+};
+
+const char *modelName(ModelKind kind);
+
+/** All seven workloads, Table-1 order. */
+std::vector<ModelKind> allModels();
+
+/** The six graph-mode workloads of Table 2 / Figure 9. */
+std::vector<ModelKind> graphModeModels();
+
+/** The two eager-mode workloads of Table 3 / Figure 10. */
+std::vector<ModelKind> eagerModeModels();
+
+Graph buildModel(ModelKind kind, std::int64_t batch);
+
+Graph buildVgg16(std::int64_t batch);
+Graph buildResNet(std::int64_t batch, int depth); // depth in {50, 152}
+Graph buildInceptionV3(std::int64_t batch);
+Graph buildInceptionV4(std::int64_t batch);
+Graph buildDenseNet121(std::int64_t batch);
+
+struct BertConfig
+{
+    std::int64_t seqLen = 192;
+    std::int64_t hidden = 768;
+    std::int64_t layers = 12;
+    std::int64_t heads = 12;
+    std::int64_t ffnHidden = 3072;
+    std::int64_t vocab = 30522;
+    /** Fraction of positions the masked-LM head predicts (BERT uses 15%). */
+    double maskedFraction = 0.15;
+};
+
+Graph buildBert(std::int64_t batch, const BertConfig &cfg = {});
+
+/**
+ * Extension workload (not in the paper's Table 1): a stacked-LSTM language
+ * model whose unrolled-timestep access pattern stresses the tracker with
+ * hundreds of accesses per weight tensor per iteration.
+ */
+struct LstmConfig
+{
+    std::int64_t timesteps = 128;
+    std::int64_t layers = 4;
+    std::int64_t hidden = 2048;
+    std::int64_t embedDim = 1024;
+    std::int64_t vocab = 32768;
+};
+
+Graph buildLstm(std::int64_t batch, const LstmConfig &cfg = {});
+
+} // namespace capu
+
+#endif // CAPU_MODELS_ZOO_HH

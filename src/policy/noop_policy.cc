@@ -1,0 +1,12 @@
+#include "policy/noop_policy.hh"
+
+namespace capu
+{
+
+std::unique_ptr<MemoryPolicy>
+makeNoOpPolicy()
+{
+    return std::make_unique<NoOpPolicy>();
+}
+
+} // namespace capu

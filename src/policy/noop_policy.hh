@@ -1,0 +1,30 @@
+/**
+ * @file
+ * TF-original baseline: no memory optimization at all.
+ *
+ * Allocation failures propagate as OomError, exactly like stock TensorFlow
+ * exceeding the BFC pool. Works in both graph and eager mode.
+ */
+
+#ifndef CAPU_POLICY_NOOP_POLICY_HH
+#define CAPU_POLICY_NOOP_POLICY_HH
+
+#include <memory>
+
+#include "exec/memory_policy.hh"
+
+namespace capu
+{
+
+class NoOpPolicy : public MemoryPolicy
+{
+  public:
+    std::string name() const override { return "TF-ori"; }
+    bool graphAgnostic() const override { return true; }
+};
+
+std::unique_ptr<MemoryPolicy> makeNoOpPolicy();
+
+} // namespace capu
+
+#endif // CAPU_POLICY_NOOP_POLICY_HH

@@ -1,0 +1,72 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("event scheduled in the past: {} < now {}", when, now_);
+    std::uint64_t id = nextId_++;
+    heap_.push(Entry{when, id, std::move(cb)});
+    ++pending_;
+    return id;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+bool
+EventQueue::cancel(std::uint64_t id)
+{
+    if (id >= nextId_ || isCancelled(id))
+        return false;
+    // Lazy deletion: remember the id; skip it when popped. We cannot know
+    // here whether the event already fired, so over-approximating is fine —
+    // fired ids never reappear in the heap.
+    cancelled_.push_back(id);
+    if (pending_ > 0)
+        --pending_;
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (isCancelled(e.id))
+            continue;
+        --pending_;
+        now_ = e.when;
+        e.cb(now_);
+    }
+    now_ = std::max(now_, until);
+}
+
+Tick
+EventQueue::runAll()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (isCancelled(e.id))
+            continue;
+        --pending_;
+        now_ = e.when;
+        e.cb(now_);
+    }
+    return now_;
+}
+
+} // namespace capu

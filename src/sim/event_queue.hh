@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Discrete-event queue: the backbone of the GPU execution model.
+ *
+ * Events are (tick, callback) pairs; ties are broken by insertion order so
+ * a run is fully deterministic. The executor's host loop is itself mostly
+ * sequential (one compute stream), but deferred frees, prefetch triggers and
+ * timeline bookkeeping all flow through here.
+ */
+
+#ifndef CAPU_SIM_EVENT_QUEUE_HH
+#define CAPU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/units.hh"
+
+namespace capu
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule `cb` at absolute time `when` (>= now). Returns event id. */
+    std::uint64_t schedule(Tick when, Callback cb);
+
+    /** Cancel a scheduled event; returns false if already fired/cancelled. */
+    bool cancel(std::uint64_t id);
+
+    /** Fire all events with tick <= `until`, advancing now() as they run. */
+    void runUntil(Tick until);
+
+    /** Fire everything; returns tick of the last event (or now()). */
+    Tick runAll();
+
+    /** Current simulated time: the tick of the last fired event. */
+    Tick now() const { return now_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pending_; }
+
+    bool empty() const { return pending_ == 0; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t id;
+        Callback cb;
+        bool operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::uint64_t> cancelled_;
+    std::uint64_t nextId_ = 0;
+    std::size_t pending_ = 0;
+    Tick now_ = 0;
+
+    bool isCancelled(std::uint64_t id) const;
+};
+
+} // namespace capu
+
+#endif // CAPU_SIM_EVENT_QUEUE_HH

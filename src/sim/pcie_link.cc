@@ -1,0 +1,61 @@
+#include "sim/pcie_link.hh"
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+PcieLink::PcieLink(double bandwidth, Tick latency)
+    : bandwidth_(bandwidth), latency_(latency), d2h_("pcie-d2h"),
+      h2d_("pcie-h2d")
+{
+    if (bandwidth <= 0)
+        fatal("PCIe bandwidth must be positive, got {}", bandwidth);
+}
+
+Tick
+PcieLink::transferTime(std::uint64_t bytes) const
+{
+    double ns = static_cast<double>(bytes) / bandwidth_ * 1e9;
+    return latency_ + static_cast<Tick>(ns + 0.5);
+}
+
+Tick
+PcieLink::transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
+                   std::string label)
+{
+    return lane(dir).enqueue(ready, transferTime(bytes), std::move(label));
+}
+
+Tick
+PcieLink::laneBusyUntil(CopyDir dir) const
+{
+    return lane(dir).busyUntil();
+}
+
+Tick
+PcieLink::lastStart(CopyDir dir) const
+{
+    return lane(dir).lastStart();
+}
+
+Stream &
+PcieLink::lane(CopyDir dir)
+{
+    return dir == CopyDir::DeviceToHost ? d2h_ : h2d_;
+}
+
+const Stream &
+PcieLink::lane(CopyDir dir) const
+{
+    return dir == CopyDir::DeviceToHost ? d2h_ : h2d_;
+}
+
+void
+PcieLink::reset()
+{
+    d2h_.reset();
+    h2d_.reset();
+}
+
+} // namespace capu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PCIe link model: two independent directions, each an exclusive FIFO lane.
+ *
+ * Pinned-memory cudaMemcpyAsync transfers in the same direction serialize
+ * (the paper: "a swap cannot start until its preceding swap finishes"), while
+ * D2H and H2D proceed concurrently with each other and with compute. Each
+ * direction is a Stream, so the interval log doubles as the memory-stream
+ * rows of Figure-1-style timelines.
+ */
+
+#ifndef CAPU_SIM_PCIE_LINK_HH
+#define CAPU_SIM_PCIE_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stream.hh"
+#include "support/units.hh"
+
+namespace capu
+{
+
+enum class CopyDir
+{
+    DeviceToHost,
+    HostToDevice,
+};
+
+class PcieLink
+{
+  public:
+    /**
+     * @param bandwidth Effective bytes/s per direction.
+     * @param latency Fixed setup cost per transfer.
+     */
+    PcieLink(double bandwidth, Tick latency);
+
+    /** Pure transfer duration for `bytes` (latency + size/bandwidth). */
+    Tick transferTime(std::uint64_t bytes) const;
+
+    /**
+     * Enqueue a transfer; returns its completion tick.
+     * @param ready Earliest start (data-production dependency).
+     */
+    Tick transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
+                  std::string label);
+
+    /** Tick when the given direction's lane drains. */
+    Tick laneBusyUntil(CopyDir dir) const;
+
+    /** Start tick of the most recent transfer in the given direction. */
+    Tick lastStart(CopyDir dir) const;
+
+    Stream &lane(CopyDir dir);
+    const Stream &lane(CopyDir dir) const;
+
+    double bandwidth() const { return bandwidth_; }
+
+    void reset();
+
+  private:
+    double bandwidth_;
+    Tick latency_;
+    Stream d2h_;
+    Stream h2d_;
+};
+
+} // namespace capu
+
+#endif // CAPU_SIM_PCIE_LINK_HH

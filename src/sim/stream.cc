@@ -1,0 +1,43 @@
+#include "sim/stream.hh"
+
+#include <algorithm>
+
+namespace capu
+{
+
+Tick
+Stream::enqueue(Tick ready, Tick duration, std::string label)
+{
+    Tick start = std::max(ready, busyUntil_);
+    Tick end = start + duration;
+    lastStart_ = start;
+    busyUntil_ = end;
+    if (logging_)
+        log_.push_back(StreamInterval{std::move(label), start, end});
+    return end;
+}
+
+Tick
+Stream::busyTime() const
+{
+    Tick total = 0;
+    for (const auto &iv : log_)
+        total += iv.end - iv.start;
+    return total;
+}
+
+void
+Stream::clearLog()
+{
+    log_.clear();
+}
+
+void
+Stream::reset()
+{
+    busyUntil_ = 0;
+    lastStart_ = 0;
+    log_.clear();
+}
+
+} // namespace capu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A CUDA-stream-like FIFO execution resource.
+ *
+ * Work items enqueued on a Stream execute strictly in order, each occupying
+ * the stream for a fixed duration; an item may additionally wait for an
+ * external readiness time (a CUDA-event dependency). enqueue() returns the
+ * item's completion tick, which callers use exactly like cudaEventRecord +
+ * cudaStreamWaitEvent pairs.
+ *
+ * Every executed interval is kept in a log for timeline rendering
+ * (Figure 1 / Figure 3 style traces) and utilization accounting.
+ */
+
+#ifndef CAPU_SIM_STREAM_HH
+#define CAPU_SIM_STREAM_HH
+
+#include <string>
+#include <vector>
+
+#include "support/units.hh"
+
+namespace capu
+{
+
+/** One executed work item on a stream. */
+struct StreamInterval
+{
+    std::string label;
+    Tick start = 0;
+    Tick end = 0;
+};
+
+class Stream
+{
+  public:
+    explicit Stream(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Enqueue a work item.
+     *
+     * @param ready Earliest tick the item may start (its dependencies).
+     * @param duration Occupancy of the stream.
+     * @param label Tag recorded in the interval log.
+     * @return Completion tick: max(ready, busyUntil()) + duration.
+     */
+    Tick enqueue(Tick ready, Tick duration, std::string label);
+
+    /** Tick at which the last enqueued item completes. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Start tick of the most recently enqueued item. */
+    Tick lastStart() const { return lastStart_; }
+
+    const std::string &name() const { return name_; }
+
+    const std::vector<StreamInterval> &intervals() const { return log_; }
+
+    /** Total busy time over the logged intervals. */
+    Tick busyTime() const;
+
+    /** Drop the interval log (e.g. at an iteration boundary). */
+    void clearLog();
+
+    /** Reset the stream to idle at tick 0 (new simulation). */
+    void reset();
+
+    /** Enable/disable interval logging (hot loops can turn it off). */
+    void setLogging(bool on) { logging_ = on; }
+
+  private:
+    std::string name_;
+    Tick busyUntil_ = 0;
+    Tick lastStart_ = 0;
+    bool logging_ = true;
+    std::vector<StreamInterval> log_;
+};
+
+} // namespace capu
+
+#endif // CAPU_SIM_STREAM_HH

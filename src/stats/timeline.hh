@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII timeline rendering of stream interval logs.
+ *
+ * Renders Figure-1-style two-row (compute / memory) execution traces so a
+ * bench can *show* the synchronization behaviour it measures, e.g.:
+ *
+ *   comp  |####----####.####|
+ *   d2h   |..####........   |
+ */
+
+#ifndef CAPU_STATS_TIMELINE_HH
+#define CAPU_STATS_TIMELINE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stream.hh"
+
+namespace capu
+{
+
+struct TimelineRow
+{
+    std::string label;
+    const std::vector<StreamInterval> *intervals;
+};
+
+/**
+ * Render rows over [begin, end) scaled to `width` character cells.
+ * '#' marks busy cells, '.' idle cells inside the window.
+ */
+void renderTimeline(std::ostream &os, const std::vector<TimelineRow> &rows,
+                    Tick begin, Tick end, std::size_t width = 100);
+
+/** Fraction of [begin, end) the stream is busy. */
+double streamUtilization(const std::vector<StreamInterval> &intervals,
+                         Tick begin, Tick end);
+
+} // namespace capu
+
+#endif // CAPU_STATS_TIMELINE_HH

@@ -1,0 +1,37 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace capu
+{
+
+namespace
+{
+std::atomic<bool> log_enabled{true};
+} // namespace
+
+void
+setLogEnabled(bool enabled)
+{
+    log_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logEnabled()
+{
+    return log_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace capu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal `{}`-placeholder string formatting (GCC 12 lacks std::format).
+ *
+ * `fmt("swap {} bytes in {} us", n, t)` substitutes each `{}` in order with
+ * the ostream rendering of the corresponding argument. Surplus placeholders
+ * are left verbatim; surplus arguments are appended space-separated so a
+ * mis-counted format string never silently drops information.
+ */
+
+#ifndef CAPU_SUPPORT_STRFMT_HH
+#define CAPU_SUPPORT_STRFMT_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace capu
+{
+
+namespace detail
+{
+
+inline void
+fmtAppendRest(std::ostringstream &os, std::string_view spec)
+{
+    os << spec;
+}
+
+template <typename T, typename... Rest>
+void
+fmtAppendRest(std::ostringstream &os, std::string_view spec, const T &head,
+              const Rest &...rest)
+{
+    auto pos = spec.find("{}");
+    if (pos == std::string_view::npos) {
+        os << spec << ' ' << head;
+        fmtAppendRest(os, {}, rest...);
+        return;
+    }
+    os << spec.substr(0, pos) << head;
+    fmtAppendRest(os, spec.substr(pos + 2), rest...);
+}
+
+} // namespace detail
+
+/** Format `spec`, replacing successive `{}` with `args`. */
+template <typename... Args>
+std::string
+fmt(std::string_view spec, const Args &...args)
+{
+    std::ostringstream os;
+    detail::fmtAppendRest(os, spec, args...);
+    return os.str();
+}
+
+} // namespace capu
+
+#endif // CAPU_SUPPORT_STRFMT_HH

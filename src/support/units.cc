@@ -1,0 +1,45 @@
+#include "support/units.hh"
+
+#include <cstdio>
+
+namespace capu
+{
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[64];
+    if (bytes >= 1_GiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      static_cast<double>(bytes) / (1ull << 30));
+    } else if (bytes >= 1_MiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                      static_cast<double>(bytes) / (1ull << 20));
+    } else if (bytes >= 1_KiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      static_cast<double>(bytes) / (1ull << 10));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatTicks(Tick ticks)
+{
+    char buf[64];
+    if (ticks >= kTickPerSec) {
+        std::snprintf(buf, sizeof(buf), "%.2f s", ticksToSec(ticks));
+    } else if (ticks >= kTickPerMs) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ticksToMs(ticks));
+    } else if (ticks >= kTickPerUs) {
+        std::snprintf(buf, sizeof(buf), "%.1f us", ticksToUs(ticks));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(ticks));
+    }
+    return buf;
+}
+
+} // namespace capu

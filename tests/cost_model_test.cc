@@ -1,0 +1,119 @@
+/** @file Unit tests for the analytic kernel cost model. */
+
+#include <gtest/gtest.h>
+
+#include "exec/cost_model.hh"
+#include "sim/gpu_device.hh"
+
+using namespace capu;
+
+namespace
+{
+
+Operation
+makeOp(double flops, double mem_bytes)
+{
+    Operation op;
+    op.name = "k";
+    op.flops = flops;
+    op.memBytes = mem_bytes;
+    return op;
+}
+
+GpuDeviceSpec
+simpleDevice()
+{
+    // 1 TFLOP/s, 100 GB/s, full efficiency, 1 us launch.
+    return GpuDeviceSpec::testDevice(1ull << 30);
+}
+
+} // namespace
+
+TEST(CostModel, ComputeBoundKernel)
+{
+    CostModel cm(simpleDevice());
+    // 1e9 FLOP at ~1 TFLOP/s ~ 1 ms; memory side 1e6 B at 100 GB/s = 10 us.
+    auto op = makeOp(1e9, 1e6);
+    Tick d = cm.opDuration(op);
+    EXPECT_GT(d, ticksFromUs(900));
+    EXPECT_LT(d, ticksFromMs(3));
+}
+
+TEST(CostModel, MemoryBoundKernel)
+{
+    CostModel cm(simpleDevice());
+    // 1e3 FLOP but 1e9 bytes: 10 ms of memory traffic dominates.
+    auto op = makeOp(1e3, 1e9);
+    Tick d = cm.opDuration(op);
+    EXPECT_NEAR(ticksToMs(d), 10.0, 0.5);
+}
+
+TEST(CostModel, LaunchOverheadFloor)
+{
+    CostModel cm(simpleDevice());
+    auto op = makeOp(1, 1);
+    EXPECT_GE(cm.opDuration(op), simpleDevice().launchOverhead);
+}
+
+TEST(CostModel, SourceOpsCostOnlyLaunch)
+{
+    CostModel cm(simpleDevice());
+    Operation op = makeOp(1e12, 1e12);
+    op.category = OpCategory::Source;
+    EXPECT_EQ(cm.opDuration(op), simpleDevice().launchOverhead);
+}
+
+TEST(CostModel, EfficiencyGrowsWithSize)
+{
+    CostModel cm(GpuDeviceSpec::p100());
+    auto small = makeOp(1e6, 0);
+    auto large = makeOp(1e11, 0);
+    EXPECT_LT(cm.effectiveFlopsFraction(small),
+              cm.effectiveFlopsFraction(large));
+    // Large kernels approach the device's plateau efficiency.
+    EXPECT_NEAR(cm.effectiveFlopsFraction(large),
+                GpuDeviceSpec::p100().computeEfficiency, 0.05);
+}
+
+TEST(CostModel, SmallKernelsSpreadDurations)
+{
+    // The Figure-2 motivation: same op category, widely varying durations.
+    CostModel cm(GpuDeviceSpec::p100());
+    auto tiny = makeOp(5e7, 1e6);
+    auto big = makeOp(5e11, 1e8);
+    tiny.category = big.category = OpCategory::Conv;
+    double ratio = static_cast<double>(cm.opDuration(big)) /
+                   static_cast<double>(cm.opDuration(tiny));
+    EXPECT_GT(ratio, 20.0);
+}
+
+TEST(CostModel, WinogradSpeedsUpFastAlgo)
+{
+    CostModel cm(simpleDevice());
+    auto op = makeOp(1e10, 1e6);
+    op.fastAlgoSpeedup = 2.25;
+    op.fastWorkspaceBytes = 1_MiB;
+    Tick fast = cm.opDuration(op, true);
+    Tick slow = cm.opDuration(op, false);
+    EXPECT_LT(fast, slow);
+    EXPECT_NEAR(static_cast<double>(slow) / fast, 2.25, 0.1);
+}
+
+TEST(CostModel, FallbackSlowdownApplies)
+{
+    CostModel cm(simpleDevice());
+    auto op = makeOp(1e10, 1e6);
+    op.fastWorkspaceBytes = 1_MiB;
+    op.fallbackSlowdown = 2.0;
+    EXPECT_NEAR(static_cast<double>(cm.opDuration(op, false)) /
+                    cm.opDuration(op, true),
+                2.0, 0.1);
+}
+
+TEST(CostModel, FallbackIrrelevantWithoutWorkspace)
+{
+    CostModel cm(simpleDevice());
+    auto op = makeOp(1e10, 1e6);
+    op.fallbackSlowdown = 5.0; // no workspace -> no alternative algorithm
+    EXPECT_EQ(cm.opDuration(op, false), cm.opDuration(op, true));
+}

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the model zoo: parameter counts against the defining papers,
+ * structural properties, and batch-size scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/builder.hh"
+#include "models/zoo.hh"
+#include "support/logging.hh"
+#include "support/units.hh"
+
+using namespace capu;
+
+namespace
+{
+
+double
+weightMillions(const Graph &g)
+{
+    return static_cast<double>(g.bytesOfKind(TensorKind::Weight)) / 4.0 /
+           1e6;
+}
+
+int
+forwardConvs(const Graph &g)
+{
+    int n = 0;
+    for (const auto &op : g.ops()) {
+        if (op.category == OpCategory::Conv && op.phase == Phase::Forward)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+class ModelZooTest : public ::testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(ModelZooTest, BuildsAndValidates)
+{
+    Graph g = buildModel(GetParam(), 4);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(g.numOps(), 10u);
+}
+
+TEST_P(ModelZooTest, HasForwardBackwardAndUpdates)
+{
+    Graph g = buildModel(GetParam(), 4);
+    auto s = g.stats();
+    EXPECT_GT(s.forwardOps, 0u);
+    EXPECT_GT(s.backwardOps, 0u);
+    EXPECT_GT(s.weightBytes, 0u);
+    EXPECT_GT(s.gradientBytes, 0u);
+}
+
+TEST_P(ModelZooTest, FeatureMapsScaleWithBatch)
+{
+    Graph g2 = buildModel(GetParam(), 2);
+    Graph g8 = buildModel(GetParam(), 8);
+    // Weights are batch-independent; feature maps scale ~4x (the BN stats
+    // and similar per-channel tensors keep it from being exact).
+    EXPECT_EQ(g2.bytesOfKind(TensorKind::Weight),
+              g8.bytesOfKind(TensorKind::Weight));
+    double ratio =
+        static_cast<double>(g8.bytesOfKind(TensorKind::FeatureMap)) /
+        static_cast<double>(g2.bytesOfKind(TensorKind::FeatureMap));
+    EXPECT_NEAR(ratio, 4.0, 0.15);
+}
+
+TEST_P(ModelZooTest, EveryForwardFeatureMapHasProducer)
+{
+    Graph g = buildModel(GetParam(), 2);
+    for (const auto &t : g.tensors()) {
+        if (t.kind == TensorKind::FeatureMap) {
+            EXPECT_NE(t.producer, kInvalidOp) << t.name;
+        }
+    }
+}
+
+TEST_P(ModelZooTest, DeterministicConstruction)
+{
+    Graph a = buildModel(GetParam(), 4);
+    Graph b = buildModel(GetParam(), 4);
+    ASSERT_EQ(a.numOps(), b.numOps());
+    ASSERT_EQ(a.numTensors(), b.numTensors());
+    for (std::size_t i = 0; i < a.numOps(); ++i) {
+        EXPECT_EQ(a.op(static_cast<OpId>(i)).name,
+                  b.op(static_cast<OpId>(i)).name);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelZooTest,
+                         ::testing::ValuesIn(allModels()),
+                         [](const auto &info) {
+                             std::string n = modelName(info.param);
+                             for (auto &c : n)
+                                 if (!isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+// --- parameter counts vs the defining papers ---
+
+TEST(ModelParams, Vgg16Has138M)
+{
+    // Simonyan & Zisserman report 138M parameters.
+    EXPECT_NEAR(weightMillions(buildVgg16(1)), 138.0, 5.0);
+}
+
+TEST(ModelParams, ResNet50Has25M)
+{
+    EXPECT_NEAR(weightMillions(buildResNet(1, 50)), 25.5, 2.0);
+}
+
+TEST(ModelParams, ResNet152Has60M)
+{
+    EXPECT_NEAR(weightMillions(buildResNet(1, 152)), 60.2, 3.0);
+}
+
+TEST(ModelParams, InceptionV3Has24M)
+{
+    EXPECT_NEAR(weightMillions(buildInceptionV3(1)), 23.8, 2.5);
+}
+
+TEST(ModelParams, InceptionV4Has43M)
+{
+    EXPECT_NEAR(weightMillions(buildInceptionV4(1)), 42.7, 4.0);
+}
+
+TEST(ModelParams, DenseNet121Has8M)
+{
+    EXPECT_NEAR(weightMillions(buildDenseNet121(1)), 8.0, 1.5);
+}
+
+TEST(ModelParams, BertBaseHas110M)
+{
+    // Devlin et al.: BERT-base has ~110M parameters; the paper quotes the
+    // same number. Ours adds the untied MLM output projection (+23M).
+    EXPECT_NEAR(weightMillions(buildBert(1)), 110.0, 30.0);
+}
+
+// --- structural details the evaluation depends on ---
+
+TEST(ModelStructure, InceptionV3HasAbout94Convs)
+{
+    // Figure 2 profiles "these 94 convolution layers".
+    int convs = forwardConvs(buildInceptionV3(1));
+    EXPECT_GE(convs, 90);
+    EXPECT_LE(convs, 100);
+}
+
+TEST(ModelStructure, Vgg16Has13ConvsAnd3Fc)
+{
+    Graph g = buildVgg16(1);
+    EXPECT_EQ(forwardConvs(g), 13);
+    int fc = 0;
+    for (const auto &op : g.ops()) {
+        if (op.category == OpCategory::MatMul && op.phase == Phase::Forward)
+            ++fc;
+    }
+    EXPECT_EQ(fc, 3);
+}
+
+TEST(ModelStructure, ResNet50Has53Convs)
+{
+    // 1 stem + 16 blocks x 3 + 4 projection shortcuts = 53.
+    EXPECT_EQ(forwardConvs(buildResNet(1, 50)), 53);
+}
+
+TEST(ModelStructure, ResNetDepthsDiffer)
+{
+    EXPECT_GT(buildResNet(1, 152).numOps(), buildResNet(1, 50).numOps());
+}
+
+TEST(ModelStructure, UnsupportedResNetDepthIsFatal)
+{
+    EXPECT_THROW(buildResNet(1, 101), FatalError);
+}
+
+TEST(ModelStructure, BertHasTwelveLayers)
+{
+    Graph g = buildBert(1);
+    int attn_softmax = 0;
+    for (const auto &op : g.ops()) {
+        if (op.phase == Phase::Forward &&
+            op.name.find("attn_softmax") != std::string::npos)
+            ++attn_softmax;
+    }
+    EXPECT_EQ(attn_softmax, 12);
+}
+
+TEST(ModelStructure, BertMlmHeadIsMaskedOnly)
+{
+    // The MLM logits tensor must cover only ~15% of positions — a
+    // full {B,S,vocab} tensor would never fit training on a 16 GB card.
+    BertConfig cfg;
+    Graph g = buildBert(8, cfg);
+    for (const auto &t : g.tensors()) {
+        if (t.name == "mlm:logits:out") {
+            auto full = static_cast<std::uint64_t>(8) * cfg.seqLen *
+                        cfg.vocab * 4;
+            EXPECT_LT(t.bytes, full / 4);
+            return;
+        }
+    }
+    FAIL() << "mlm:logits:out not found";
+}
+
+TEST(ModelStructure, ConvThreeByThreeUsesWinograd)
+{
+    Graph g = buildVgg16(2);
+    for (const auto &op : g.ops()) {
+        if (op.category == OpCategory::Conv && op.phase == Phase::Forward) {
+            // All VGG convs are 3x3 stride 1 -> Winograd-eligible.
+            EXPECT_GT(op.fastAlgoSpeedup, 1.0) << op.name;
+            EXPECT_GT(op.fastWorkspaceBytes, 0u) << op.name;
+        }
+    }
+}
+
+TEST(ModelStructure, DropoutMasksSurviveToBackward)
+{
+    Graph g = buildVgg16(2);
+    bool found = false;
+    for (const auto &t : g.tensors()) {
+        if (t.name.find(":mask") == std::string::npos)
+            continue;
+        found = true;
+        bool backward_use = false;
+        for (OpId c : g.consumers(t.id)) {
+            if (g.op(c).phase == Phase::Backward)
+                backward_use = true;
+        }
+        EXPECT_TRUE(backward_use) << t.name;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ModelBuilderApi, RejectsNonPositiveBatch)
+{
+    EXPECT_THROW(ModelBuilder("x", 0), FatalError);
+    EXPECT_THROW(ModelBuilder("x", -3), FatalError);
+}
+
+TEST(ModelBuilderApi, ConvDimensionArithmetic)
+{
+    ModelBuilder b("x", 1);
+    TensorId in = b.input(3, 224, 224);
+    TensorId out = b.conv2d(in, 64, 7, 2, 3);
+    EXPECT_EQ(b.dims(out).h, 112);
+    EXPECT_EQ(b.dims(out).c, 64);
+    TensorId p = b.maxpool(out, 3, 2, 1);
+    EXPECT_EQ(b.dims(p).h, 56);
+}
+
+TEST(ModelBuilderApi, ConvBelowOnePixelIsFatal)
+{
+    ModelBuilder b("x", 1);
+    TensorId in = b.input(3, 2, 2);
+    EXPECT_THROW(b.conv2d(in, 8, 7, 1, 0), FatalError);
+}
+
+TEST(ModelBuilderApi, ConcatChecksSpatialDims)
+{
+    ModelBuilder b("x", 1);
+    TensorId in = b.input(3, 32, 32);
+    TensorId a = b.conv2d(in, 8, 3);
+    TensorId c = b.conv2d(in, 8, 3, 2); // 16x16
+    EXPECT_THROW(b.concat({a, c}), FatalError);
+}
+
+TEST(ModelBuilderApi, AddChecksSizes)
+{
+    ModelBuilder b("x", 1);
+    TensorId in = b.input(3, 32, 32);
+    TensorId a = b.conv2d(in, 8, 3);
+    TensorId c = b.conv2d(in, 16, 3);
+    EXPECT_THROW(b.add(a, c), FatalError);
+}
+
+TEST(ModelBuilderApi, UniqueNames)
+{
+    ModelBuilder b("x", 1);
+    TensorId in = b.input(3, 32, 32);
+    b.conv2d(in, 8, 3);
+    b.conv2d(in, 8, 3);
+    const Graph &g = b.graph();
+    // Same base name, distinct instances.
+    bool saw_conv = false, saw_conv1 = false;
+    for (const auto &op : g.ops()) {
+        saw_conv = saw_conv || op.name == "conv";
+        saw_conv1 = saw_conv1 || op.name == "conv_1";
+    }
+    EXPECT_TRUE(saw_conv);
+    EXPECT_TRUE(saw_conv1);
+}

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for the Tensor Access Tracker and Policy Maker: FT ranking, the
+ * MSPS/Algorithm-2 recompute machinery, in-trigger placement, and the
+ * swap/recompute crossover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/access_tracker.hh"
+#include "core/policy_maker.hh"
+#include "graph/graph.hh"
+#include "support/units.hh"
+
+using namespace capu;
+
+namespace
+{
+
+/**
+ * Builds a 4-tensor lineage images -> T1 -> T2 -> T3 and a synthetic
+ * access trace with controllable gaps, then lets tests run the planner.
+ */
+struct PlannerFixture
+{
+    Graph g{"planner"};
+    TensorId images, t1, t2, t3;
+    AccessTracker tracker;
+    std::uint64_t bytes = 64_MiB;
+
+    PlannerFixture()
+    {
+        images = g.addTensor("images", bytes, TensorKind::FeatureMap);
+        Operation src;
+        src.name = "source";
+        src.category = OpCategory::Source;
+        src.outputs = {images};
+        src.recomputable = false;
+        g.addOp(src);
+        t1 = addLayer("op1", images);
+        t2 = addLayer("op2", t1);
+        t3 = addLayer("op3", t2);
+    }
+
+    TensorId
+    addLayer(const std::string &name, TensorId in)
+    {
+        TensorId out = g.addTensor(name + ":out", bytes,
+                                   TensorKind::FeatureMap);
+        Operation op;
+        op.name = name;
+        op.category = OpCategory::Elementwise;
+        op.inputs = {in};
+        op.outputs = {out};
+        op.flops = 1e6;
+        op.memBytes = 1e6;
+        op.gradInputs = {in};
+        op.savedForBackward = {in};
+        g.addOp(op);
+        return out;
+    }
+
+    /** Record {tensor, accessIndex} at `time`; output iff index == 1. */
+    void
+    access(TensorId tensor, int index, Tick time)
+    {
+        AccessRecord r;
+        r.tensor = tensor;
+        r.accessIndex = index;
+        r.time = time;
+        r.isOutput = index == 1;
+        r.op = g.tensor(tensor).producer;
+        tracker.record(r);
+    }
+
+    Plan
+    plan(std::uint64_t target, Tick swap_time_per_tensor,
+         std::uint64_t capacity = 1, PolicyMakerOptions opts = {})
+    {
+        PolicyMaker maker(g, tracker, opts);
+        return maker.build(
+            target, [&](TensorId) { return bytes; },
+            [&](std::uint64_t) { return swap_time_per_tensor; }, capacity);
+    }
+};
+
+} // namespace
+
+// --- AccessTracker ---
+
+TEST(AccessTracker, RecordsSequencesAndPerTensorLists)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 100);
+    f.access(f.t1, 2, 500);
+    f.access(f.t2, 1, 200);
+    EXPECT_EQ(f.tracker.size(), 3u);
+    EXPECT_EQ(f.tracker.accessesOf(f.t1).size(), 2u);
+    EXPECT_EQ(f.tracker.accessesOf(f.t2).size(), 1u);
+    EXPECT_TRUE(f.tracker.accessesOf(f.t3).empty());
+}
+
+TEST(AccessTracker, OpDurationFromAccessTimes)
+{
+    PlannerFixture f;
+    // op2 reads t1 at 100 (input) and writes t2 at 400 (output).
+    AccessRecord in;
+    in.tensor = f.t1;
+    in.accessIndex = 2;
+    in.time = 100;
+    in.isOutput = false;
+    in.op = f.g.tensor(f.t2).producer;
+    f.tracker.record(in);
+    f.access(f.t2, 1, 400);
+    EXPECT_EQ(f.tracker.opDuration(f.g.tensor(f.t2).producer), 300u);
+    EXPECT_TRUE(f.tracker.hasOpDuration(f.g.tensor(f.t2).producer));
+    EXPECT_FALSE(f.tracker.hasOpDuration(f.g.tensor(f.t1).producer));
+}
+
+TEST(AccessTracker, PeakWindowDetection)
+{
+    PlannerFixture f;
+    // t1 alive [100, 900], t2 alive [200, 800], t3 alive [300, 400]:
+    // usage crosses 2 x 64 MiB during [200, 800].
+    f.access(f.t1, 1, 100);
+    f.access(f.t2, 1, 200);
+    f.access(f.t3, 1, 300);
+    f.access(f.t3, 2, 400);
+    f.access(f.t2, 2, 800);
+    f.access(f.t1, 2, 900);
+    auto win = f.tracker.peakWindow([&](TensorId) { return f.bytes; },
+                                    f.bytes * 2);
+    ASSERT_TRUE(win.valid);
+    EXPECT_EQ(win.lo, 300u);
+    EXPECT_GE(win.peakBytes, 3 * f.bytes);
+}
+
+TEST(AccessTracker, PeakWindowInvalidWhenUnderThreshold)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 100);
+    f.access(f.t1, 2, 200);
+    auto win = f.tracker.peakWindow([&](TensorId) { return f.bytes; },
+                                    f.bytes * 10);
+    EXPECT_FALSE(win.valid);
+}
+
+TEST(AccessTracker, ResetClearsEverything)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 100);
+    f.tracker.reset();
+    EXPECT_TRUE(f.tracker.empty());
+    EXPECT_TRUE(f.tracker.accessesOf(f.t1).empty());
+}
+
+// --- PolicyMaker: swap path ---
+
+TEST(PolicyMaker, EmptyPlanWithZeroTarget)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 0);
+    f.access(f.t1, 2, 1000);
+    auto plan = f.plan(0, 10);
+    EXPECT_TRUE(plan.items.empty());
+}
+
+TEST(PolicyMaker, PicksLargestGapTensorForSwap)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    // t1: gap 100 ms; t2: gap 10 ms; t3: gap 2 ms. Swap time 1 ms.
+    f.access(f.t1, 1, 0);
+    f.access(f.t2, 1, 1 * ms);
+    f.access(f.t3, 1, 2 * ms);
+    f.access(f.t3, 2, 4 * ms);
+    f.access(f.t2, 2, 11 * ms);
+    f.access(f.t1, 2, 100 * ms);
+    auto plan = f.plan(f.bytes, 1 * ms); // one tensor suffices
+    ASSERT_EQ(plan.items.size(), 1u);
+    EXPECT_EQ(plan.items[0].tensor, f.t1);
+    EXPECT_EQ(plan.items[0].mode, RegenChoice::Swap);
+    EXPECT_EQ(plan.items[0].evictAfterAccess, 1);
+    EXPECT_EQ(plan.items[0].backAccess, 2);
+    // FT = gap - 2 x SwapTime = 98 ms (Eq. 1).
+    EXPECT_EQ(plan.items[0].freeTime, 98 * ms);
+    EXPECT_EQ(plan.items[0].estimatedOverhead, 0u);
+}
+
+TEST(PolicyMaker, InTriggerBeforeBackAccessBySwapTime)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    f.access(f.t1, 1, 0);
+    f.access(f.t2, 1, 10 * ms);
+    f.access(f.t3, 1, 80 * ms);
+    f.access(f.t3, 2, 85 * ms);
+    f.access(f.t2, 2, 90 * ms);
+    f.access(f.t1, 2, 100 * ms);
+    auto plan = f.plan(f.bytes, 10 * ms);
+    ASSERT_EQ(plan.items.size(), 1u);
+    const auto &item = plan.items[0];
+    // Desired fetch start: 100 - 10 = 90 ms; the latest access at or
+    // before that is t2's back-access at 90 ms.
+    EXPECT_EQ(item.desiredSwapInStart, 90 * ms);
+    EXPECT_EQ(item.triggerTensor, f.t2);
+    EXPECT_EQ(item.triggerAccess, 2);
+}
+
+TEST(PolicyMaker, RepickTriggerAfterFeedbackShift)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    f.access(f.t1, 1, 0);
+    f.access(f.t2, 1, 10 * ms);
+    f.access(f.t3, 1, 80 * ms);
+    f.access(f.t3, 2, 85 * ms);
+    f.access(f.t2, 2, 90 * ms);
+    f.access(f.t1, 2, 100 * ms);
+    auto plan = f.plan(f.bytes, 10 * ms);
+    ASSERT_EQ(plan.items.size(), 1u);
+    PlannedEviction item = plan.items[0];
+    // Feedback shifts the desired start before t2's back-access; the
+    // trigger must fall back to an earlier access (t3's at 85 ms).
+    item.desiredSwapInStart = 87 * ms;
+    PolicyMaker maker(f.g, f.tracker, {});
+    ASSERT_TRUE(maker.repickTrigger(item));
+    EXPECT_EQ(item.triggerTensor, f.t3);
+}
+
+TEST(PolicyMaker, SingleAccessTensorsAreNotCandidates)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 0); // never re-accessed
+    f.access(f.t2, 1, 100);
+    f.access(f.t2, 2, ticksFromMs(50));
+    auto plan = f.plan(4 * f.bytes, 10);
+    for (const auto &item : plan.items)
+        EXPECT_NE(item.tensor, f.t1);
+}
+
+// --- PolicyMaker: recompute path ---
+
+TEST(PolicyMaker, ShortGapsFlipToRecompute)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    // Gaps of ~4 ms against a 10 ms swap time: swapping cannot be hidden;
+    // recomputing (measured op time ~1 ms) is cheaper.
+    f.access(f.images, 1, 0);
+    f.access(f.images, 2, 1 * ms); // read by op1 at kernel start
+    f.access(f.t1, 1, 2 * ms);     // op1 output (duration 2-1 = 1 ms)
+    f.access(f.t1, 2, 3 * ms);
+    f.access(f.t2, 1, 4 * ms);
+    f.access(f.t2, 2, 5 * ms);
+    f.access(f.t3, 1, 6 * ms);
+    f.access(f.t1, 3, 9 * ms);
+    f.access(f.t2, 3, 10 * ms);
+    f.access(f.t3, 2, 11 * ms);
+    auto plan = f.plan(2 * f.bytes, 10 * ms);
+    ASSERT_GE(plan.items.size(), 1u);
+    EXPECT_GT(plan.recomputeCount, 0u);
+}
+
+TEST(PolicyMaker, SwapOnlyOptionHonored)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    f.access(f.images, 1, 0);
+    f.access(f.images, 2, 1 * ms);
+    f.access(f.t1, 1, 2 * ms);
+    f.access(f.t1, 2, 3 * ms);
+    f.access(f.t1, 3, 9 * ms);
+    PolicyMakerOptions opts;
+    opts.enableRecompute = false;
+    auto plan = f.plan(f.bytes, 10 * ms, 1, opts);
+    for (const auto &item : plan.items)
+        EXPECT_EQ(item.mode, RegenChoice::Swap);
+}
+
+TEST(PolicyMaker, RecomputeOnlyOptionHonored)
+{
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    f.access(f.images, 1, 0);
+    f.access(f.images, 2, 1 * ms);
+    f.access(f.t1, 1, 2 * ms);
+    f.access(f.t1, 2, 3 * ms);
+    f.access(f.t1, 3, 200 * ms); // giant gap: swap would be free
+    PolicyMakerOptions opts;
+    opts.enableSwap = false;
+    auto plan = f.plan(f.bytes, 1 * ms, 1, opts);
+    ASSERT_GE(plan.items.size(), 1u);
+    for (const auto &item : plan.items)
+        EXPECT_EQ(item.mode, RegenChoice::Recompute);
+}
+
+TEST(PolicyMaker, SourceOutputsAreNotRecomputable)
+{
+    // `images` comes from a Source op: with swap disabled the planner
+    // must not emit a recompute item for it.
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    f.access(f.images, 1, 0);
+    f.access(f.images, 2, 1 * ms);
+    f.access(f.images, 3, 50 * ms);
+    PolicyMakerOptions opts;
+    opts.enableSwap = false;
+    auto plan = f.plan(f.bytes, 1 * ms, 1, opts);
+    for (const auto &item : plan.items)
+        EXPECT_NE(item.tensor, f.images);
+}
+
+TEST(PolicyMaker, LaneSaturationShiftsLaterTensorsToRecompute)
+{
+    // Many same-window swap candidates: per-tensor FT is positive, but the
+    // lane FIFO fills; the planner must charge queueing delay and start
+    // choosing recomputation for the overflow.
+    PlannerFixture f;
+    Tick ms = kTickPerMs;
+    std::vector<TensorId> extra;
+    TensorId prev = f.t3;
+    for (int i = 0; i < 12; ++i)
+        extra.push_back(prev = f.addLayer("x" + std::to_string(i), prev));
+
+    // All evicted-accesses cluster at ~1 ms; back-accesses at ~100 ms.
+    Tick t = 0;
+    f.access(f.images, 1, t);
+    f.access(f.images, 2, t += 100000);
+    f.access(f.t1, 1, t += 100000);
+    f.access(f.t1, 2, t += 100000);
+    f.access(f.t2, 1, t += 100000);
+    f.access(f.t2, 2, t += 100000);
+    f.access(f.t3, 1, t += 100000);
+    f.access(f.t3, 2, t += 100000);
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+        f.access(extra[i], 1, t += 100000);
+        f.access(extra[i], 2, t += 100000);
+    }
+    Tick back = 100 * ms;
+    f.access(f.t1, 3, back += ms);
+    f.access(f.t2, 3, back += ms);
+    f.access(f.t3, 3, back += ms);
+    for (std::size_t i = 0; i < extra.size(); ++i)
+        f.access(extra[i], 3, back += ms);
+
+    // Swap time 8 ms per tensor: 15 swaps = 120 ms per lane against a
+    // ~115 ms iteration: saturated.
+    auto plan = f.plan(15 * f.bytes, 8 * ms);
+    EXPECT_GT(plan.recomputeCount, 0u)
+        << "queueing delay failed to flip any candidate to recompute";
+}
+
+TEST(PolicyMaker, PlanSummariesAreInformative)
+{
+    PlannerFixture f;
+    f.access(f.t1, 1, 0);
+    f.access(f.t1, 2, ticksFromMs(100));
+    auto plan = f.plan(f.bytes, ticksFromMs(1));
+    EXPECT_NE(plan.summary().find("swap"), std::string::npos);
+    EXPECT_NE(plan.find(f.t1), nullptr);
+    EXPECT_EQ(plan.find(f.t3), nullptr);
+}

@@ -1,0 +1,13 @@
+/** @file Build smoke test: construct each model graph and validate it. */
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.hh"
+
+TEST(Smoke, BuildAllModels)
+{
+    for (auto kind : capu::allModels()) {
+        auto g = capu::buildModel(kind, 2);
+        EXPECT_GT(g.numOps(), 10u) << capu::modelName(kind);
+    }
+}

@@ -1,0 +1,179 @@
+/** @file Unit tests for the support library (strfmt, logging, rng, units). */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/strfmt.hh"
+#include "support/units.hh"
+
+using namespace capu;
+
+TEST(Strfmt, NoPlaceholders)
+{
+    EXPECT_EQ(fmt("hello"), "hello");
+}
+
+TEST(Strfmt, SingleSubstitution)
+{
+    EXPECT_EQ(fmt("x = {}", 42), "x = 42");
+}
+
+TEST(Strfmt, MultipleSubstitutions)
+{
+    EXPECT_EQ(fmt("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Strfmt, StringArgs)
+{
+    EXPECT_EQ(fmt("{} {}", std::string("a"), "b"), "a b");
+}
+
+TEST(Strfmt, SurplusArgsAppended)
+{
+    // Mis-counted format strings must not drop information.
+    EXPECT_EQ(fmt("x={}", 1, 2), "x=1 2");
+}
+
+TEST(Strfmt, SurplusPlaceholdersKept)
+{
+    EXPECT_EQ(fmt("{} {}", 7), "7 {}");
+}
+
+TEST(Strfmt, MixedTypes)
+{
+    EXPECT_EQ(fmt("{}/{}", 1.5, 'c'), "1.5/c");
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom {}", 1), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config {}", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsArgs)
+{
+    try {
+        panic("value was {}", 99);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+    }
+}
+
+TEST(Logging, WarnRespectsEnableFlag)
+{
+    setLogEnabled(false);
+    EXPECT_FALSE(logEnabled());
+    warn("should not print");
+    setLogEnabled(true);
+    EXPECT_TRUE(logEnabled());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng r(7);
+    EXPECT_EQ(r.uniformInt(5, 5), 5u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealCoversRange)
+{
+    Rng r(13);
+    bool low = false, high = false;
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformReal(0, 100);
+        low = low || v < 10;
+        high = high || v > 90;
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Hash, CombineOrderMatters)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hash, StringStable)
+{
+    EXPECT_EQ(hashString("conv1"), hashString("conv1"));
+    EXPECT_NE(hashString("conv1"), hashString("conv2"));
+}
+
+TEST(Units, TickConversions)
+{
+    EXPECT_EQ(ticksFromUs(1), 1000u);
+    EXPECT_EQ(ticksFromMs(1), 1000000u);
+    EXPECT_EQ(ticksFromSec(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(ticksToUs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(kTickPerSec), 1.0);
+}
+
+TEST(Units, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(17), "17 B");
+    EXPECT_EQ(formatBytes(1536), "1.5 KiB");
+    EXPECT_EQ(formatBytes(3ull << 20), "3.0 MiB");
+    EXPECT_EQ(formatBytes(1536ull << 20), "1.50 GiB");
+}
+
+TEST(Units, FormatTicks)
+{
+    EXPECT_EQ(formatTicks(500), "500 ns");
+    EXPECT_EQ(formatTicks(ticksFromUs(2)), "2.0 us");
+    EXPECT_EQ(formatTicks(ticksFromMs(3)), "3.00 ms");
+    EXPECT_EQ(formatTicks(ticksFromSec(2)), "2.00 s");
+}

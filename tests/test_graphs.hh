@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared synthetic-graph builders for executor/policy tests.
+ *
+ * All helpers produce small graphs with hand-computable sizes/costs so
+ * tests can assert exact ticks and bytes on the test GPU device.
+ */
+
+#ifndef CAPU_TESTS_TEST_GRAPHS_HH
+#define CAPU_TESTS_TEST_GRAPHS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/autograd.hh"
+#include "graph/graph.hh"
+#include "support/units.hh"
+
+namespace capu::test
+{
+
+/**
+ * A linear "training-like" chain:
+ *
+ *   source -> images -> L1 -> L2 -> ... -> Ln(loss)
+ *
+ * each layer an elementwise op with a `tensor_bytes` feature map saved
+ * for backward. After autograd, every feature map is produced forward and
+ * re-read backward — the minimal workload with Capuchin-relevant reuse.
+ */
+struct ChainGraph
+{
+    Graph graph{"test-chain"};
+    TensorId images = kInvalidTensor;
+    std::vector<TensorId> features; ///< layer outputs, forward order
+    TensorId loss = kInvalidTensor;
+
+    ChainGraph(int layers, std::uint64_t tensor_bytes,
+               double flops_per_op = 1e6, bool with_weights = false)
+    {
+        images = graph.addTensor("images", tensor_bytes,
+                                 TensorKind::FeatureMap);
+        Operation src;
+        src.name = "source";
+        src.category = OpCategory::Source;
+        src.outputs = {images};
+        src.recomputable = false;
+        src.memBytes = static_cast<double>(tensor_bytes);
+        graph.addOp(src);
+
+        TensorId prev = images;
+        for (int i = 0; i < layers; ++i) {
+            std::string name = "L" + std::to_string(i + 1);
+            TensorId out = graph.addTensor(name + ":out", tensor_bytes,
+                                           TensorKind::FeatureMap);
+            Operation op;
+            op.name = name;
+            op.category = i + 1 == layers ? OpCategory::Loss
+                                          : OpCategory::Elementwise;
+            op.inputs = {prev};
+            if (with_weights) {
+                TensorId w = graph.addTensor(name + ":w", 1_KiB,
+                                             TensorKind::Weight);
+                op.inputs.push_back(w);
+                op.gradParams = {w};
+            }
+            op.outputs = {out};
+            op.flops = flops_per_op;
+            op.memBytes = 2.0 * static_cast<double>(tensor_bytes);
+            op.gradInputs = {prev};
+            op.savedForBackward = {prev};
+            graph.addOp(op);
+            features.push_back(out);
+            prev = out;
+        }
+        loss = prev;
+        buildBackward(graph, loss);
+        graph.validate();
+    }
+};
+
+} // namespace capu::test
+
+#endif // CAPU_TESTS_TEST_GRAPHS_HH

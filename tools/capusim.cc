@@ -1,0 +1,260 @@
+/**
+ * @file
+ * capusim — command-line driver for the Capuchin reproduction.
+ *
+ * Runs any (model, batch, policy) combination on a simulated device and
+ * reports per-iteration statistics; can also binary-search the maximum
+ * batch or dump the measured tensor-access trace for offline analysis.
+ *
+ *   capusim --model resnet50 --batch 400 --policy capuchin --iters 12
+ *   capusim --model bert --policy capuchin --max-batch
+ *   capusim --model inceptionv3 --batch 300 --policy vdnn --eager
+ *   capusim --model resnet50 --batch 400 --dump-trace trace.csv
+ *   capusim --list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/capuchin_policy.hh"
+#include "core/trace_io.hh"
+#include "exec/session.hh"
+#include "models/zoo.hh"
+#include "policy/checkpointing_policy.hh"
+#include "policy/noop_policy.hh"
+#include "policy/vdnn_policy.hh"
+#include "stats/table.hh"
+#include "support/logging.hh"
+
+using namespace capu;
+
+namespace
+{
+
+struct Options
+{
+    std::string model = "resnet50";
+    std::string policy = "capuchin";
+    std::string device = "p100";
+    std::int64_t batch = 256;
+    int iterations = 10;
+    bool eager = false;
+    bool findMax = false;
+    bool csv = false;
+    bool list = false;
+    std::string dumpTrace;
+};
+
+const std::map<std::string, ModelKind> kModels = {
+    {"vgg16", ModelKind::Vgg16},
+    {"resnet50", ModelKind::ResNet50},
+    {"resnet152", ModelKind::ResNet152},
+    {"inceptionv3", ModelKind::InceptionV3},
+    {"inceptionv4", ModelKind::InceptionV4},
+    {"densenet", ModelKind::DenseNet121},
+    {"bert", ModelKind::BertBase},
+};
+
+Graph
+buildByName(const std::string &name, std::int64_t batch)
+{
+    if (name == "lstm")
+        return buildLstm(batch);
+    auto it = kModels.find(name);
+    if (it == kModels.end())
+        fatal("unknown model '{}' (try --list)", name);
+    return buildModel(it->second, batch);
+}
+
+std::unique_ptr<MemoryPolicy>
+policyByName(const std::string &name)
+{
+    if (name == "tf" || name == "none")
+        return makeNoOpPolicy();
+    if (name == "vdnn")
+        return makeVdnnPolicy();
+    if (name == "vdnn-conv")
+        return makeVdnnPolicy(VdnnPolicy::Mode::ConvOnly);
+    if (name == "openai-m")
+        return makeCheckpointingPolicy(CheckpointingPolicy::Mode::Memory);
+    if (name == "openai-s")
+        return makeCheckpointingPolicy(CheckpointingPolicy::Mode::Speed);
+    if (name == "capuchin")
+        return makeCapuchinPolicy();
+    if (name == "capuchin-swap") {
+        CapuchinOptions o;
+        o.enableRecompute = false;
+        return makeCapuchinPolicy(o);
+    }
+    if (name == "capuchin-recompute") {
+        CapuchinOptions o;
+        o.enableSwap = false;
+        return makeCapuchinPolicy(o);
+    }
+    fatal("unknown policy '{}' (try --list)", name);
+}
+
+GpuDeviceSpec
+deviceByName(const std::string &name)
+{
+    if (name == "p100")
+        return GpuDeviceSpec::p100();
+    if (name == "v100")
+        return GpuDeviceSpec::v100();
+    fatal("unknown device '{}' (p100 or v100)", name);
+}
+
+void
+usage()
+{
+    std::cout <<
+        "capusim — Capuchin GPU-memory-management simulator\n"
+        "\n"
+        "  --model <name>     vgg16 resnet50 resnet152 inceptionv3\n"
+        "                     inceptionv4 densenet bert lstm\n"
+        "  --policy <name>    tf vdnn vdnn-conv openai-m openai-s\n"
+        "                     capuchin capuchin-swap capuchin-recompute\n"
+        "  --device <name>    p100 (default) | v100\n"
+        "  --batch <n>        batch size (default 256)\n"
+        "  --iters <n>        training iterations (default 10)\n"
+        "  --eager            imperative execution (graph-agnostic\n"
+        "                     policies only)\n"
+        "  --max-batch        binary-search the maximum feasible batch\n"
+        "  --dump-trace <f>   run 1 iteration under Capuchin and write the\n"
+        "                     measured tensor-access trace to <f>\n"
+        "  --csv              machine-readable per-iteration output\n"
+        "  --list             print models and policies\n";
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after {}", a);
+            return argv[++i];
+        };
+        if (a == "--model")
+            opt.model = next();
+        else if (a == "--policy")
+            opt.policy = next();
+        else if (a == "--device")
+            opt.device = next();
+        else if (a == "--batch")
+            opt.batch = std::atoll(next());
+        else if (a == "--iters")
+            opt.iterations = std::atoi(next());
+        else if (a == "--eager")
+            opt.eager = true;
+        else if (a == "--max-batch")
+            opt.findMax = true;
+        else if (a == "--dump-trace")
+            opt.dumpTrace = next();
+        else if (a == "--csv")
+            opt.csv = true;
+        else if (a == "--list")
+            opt.list = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            return false;
+        } else {
+            fatal("unknown argument '{}' (see --help)", a);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        if (!parseArgs(argc, argv, opt))
+            return 0;
+        if (opt.list) {
+            std::cout << "models:  vgg16 resnet50 resnet152 inceptionv3 "
+                         "inceptionv4 densenet bert lstm\n"
+                      << "policies: tf vdnn vdnn-conv openai-m openai-s "
+                         "capuchin capuchin-swap capuchin-recompute\n";
+            return 0;
+        }
+
+        ExecConfig cfg;
+        cfg.device = deviceByName(opt.device);
+        cfg.eagerMode = opt.eager;
+
+        if (opt.findMax) {
+            auto mb = findMaxBatch(
+                [&](std::int64_t b) { return buildByName(opt.model, b); },
+                [&] { return policyByName(opt.policy); }, cfg);
+            std::cout << "max batch for " << opt.model << " under "
+                      << opt.policy << (opt.eager ? " (eager)" : "")
+                      << ": " << mb << "\n";
+            return 0;
+        }
+
+        if (!opt.dumpTrace.empty()) {
+            CapuchinPolicy *capu = nullptr;
+            auto p = makeCapuchinPolicy();
+            capu = static_cast<CapuchinPolicy *>(p.get());
+            Session session(buildByName(opt.model, opt.batch), cfg,
+                            std::move(p));
+            auto r = session.run(1);
+            if (r.oom)
+                fatal("measured execution failed: {}", r.oomMessage);
+            auto trace = captureTrace(capu->tracker(), session.graph());
+            saveTraceFile(opt.dumpTrace, trace);
+            std::cout << "wrote " << trace.records.size() << " accesses of "
+                      << trace.tensors.size() << " tensors to "
+                      << opt.dumpTrace << "\n";
+            return 0;
+        }
+
+        Session session(buildByName(opt.model, opt.batch), cfg,
+                        policyByName(opt.policy));
+        auto r = session.run(opt.iterations);
+
+        if (opt.csv) {
+            std::cout << "iter,images_per_s,duration_ms,peak_bytes,"
+                         "swap_out_bytes,swap_in_bytes,recompute_ms,"
+                         "stall_ms,oom_evictions\n";
+            for (const auto &it : r.iterations) {
+                std::cout << it.iteration << ','
+                          << it.throughput(opt.batch) << ','
+                          << ticksToMs(it.duration()) << ','
+                          << it.peakGpuBytes << ',' << it.swapOutBytes
+                          << ',' << it.swapInBytes << ','
+                          << ticksToMs(it.recomputeBusy) << ','
+                          << ticksToMs(it.inputStall + it.allocStall)
+                          << ',' << it.oomEvictions << '\n';
+            }
+        } else {
+            Table t({"iter", "img/s", "peak", "swap out", "recompute",
+                     "stalls"});
+            for (const auto &it : r.iterations) {
+                t.addRow({cellInt(it.iteration),
+                          cellDouble(it.throughput(opt.batch), 1),
+                          formatBytes(it.peakGpuBytes),
+                          formatBytes(it.swapOutBytes),
+                          formatTicks(it.recomputeBusy),
+                          formatTicks(it.inputStall + it.allocStall)});
+            }
+            t.print(std::cout);
+        }
+        if (r.oom) {
+            std::cout << "OOM after " << r.iterations.size()
+                      << " iterations: " << r.oomMessage << "\n";
+            return 2;
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << "capusim: " << e.what() << "\n";
+        return 1;
+    }
+}
