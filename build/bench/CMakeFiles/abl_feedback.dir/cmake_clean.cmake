@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_feedback.dir/abl_feedback.cc.o"
+  "CMakeFiles/abl_feedback.dir/abl_feedback.cc.o.d"
+  "abl_feedback"
+  "abl_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_intrigger.dir/abl_intrigger.cc.o"
+  "CMakeFiles/abl_intrigger.dir/abl_intrigger.cc.o.d"
+  "abl_intrigger"
+  "abl_intrigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_intrigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_vdnn_sync.dir/fig01_vdnn_sync.cc.o"
+  "CMakeFiles/fig01_vdnn_sync.dir/fig01_vdnn_sync.cc.o.d"
+  "fig01_vdnn_sync"
+  "fig01_vdnn_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_vdnn_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

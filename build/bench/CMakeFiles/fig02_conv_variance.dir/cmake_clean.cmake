@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_conv_variance.dir/fig02_conv_variance.cc.o"
+  "CMakeFiles/fig02_conv_variance.dir/fig02_conv_variance.cc.o.d"
+  "fig02_conv_variance"
+  "fig02_conv_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_conv_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

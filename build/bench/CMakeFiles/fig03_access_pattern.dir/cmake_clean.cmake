@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_access_pattern.dir/fig03_access_pattern.cc.o"
+  "CMakeFiles/fig03_access_pattern.dir/fig03_access_pattern.cc.o.d"
+  "fig03_access_pattern"
+  "fig03_access_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_swap_breakdown.dir/fig08a_swap_breakdown.cc.o"
+  "CMakeFiles/fig08a_swap_breakdown.dir/fig08a_swap_breakdown.cc.o.d"
+  "fig08a_swap_breakdown"
+  "fig08a_swap_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_swap_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

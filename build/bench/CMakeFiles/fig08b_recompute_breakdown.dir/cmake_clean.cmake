@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_recompute_breakdown.dir/fig08b_recompute_breakdown.cc.o"
+  "CMakeFiles/fig08b_recompute_breakdown.dir/fig08b_recompute_breakdown.cc.o.d"
+  "fig08b_recompute_breakdown"
+  "fig08b_recompute_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_recompute_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_speed_graph.dir/fig09_speed_graph.cc.o"
+  "CMakeFiles/fig09_speed_graph.dir/fig09_speed_graph.cc.o.d"
+  "fig09_speed_graph"
+  "fig09_speed_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_speed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_speed_eager.dir/fig10_speed_eager.cc.o"
+  "CMakeFiles/fig10_speed_eager.dir/fig10_speed_eager.cc.o.d"
+  "fig10_speed_eager"
+  "fig10_speed_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_speed_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_max_batch_graph.dir/tab02_max_batch_graph.cc.o"
+  "CMakeFiles/tab02_max_batch_graph.dir/tab02_max_batch_graph.cc.o.d"
+  "tab02_max_batch_graph"
+  "tab02_max_batch_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_max_batch_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_max_batch_eager.dir/tab03_max_batch_eager.cc.o"
+  "CMakeFiles/tab03_max_batch_eager.dir/tab03_max_batch_eager.cc.o.d"
+  "tab03_max_batch_eager"
+  "tab03_max_batch_eager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_max_batch_eager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_max_batch_eager.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_tracking.dir/tab_overhead_tracking.cc.o"
+  "CMakeFiles/tab_overhead_tracking.dir/tab_overhead_tracking.cc.o.d"
+  "tab_overhead_tracking"
+  "tab_overhead_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

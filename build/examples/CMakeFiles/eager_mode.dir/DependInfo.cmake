@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/eager_mode.cc" "examples/CMakeFiles/eager_mode.dir/eager_mode.cc.o" "gcc" "examples/CMakeFiles/eager_mode.dir/eager_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_mode.dir/eager_mode.cc.o"
+  "CMakeFiles/eager_mode.dir/eager_mode.cc.o.d"
+  "eager_mode"
+  "eager_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

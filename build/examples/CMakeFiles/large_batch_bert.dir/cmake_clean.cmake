@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_batch_bert.dir/large_batch_bert.cc.o"
+  "CMakeFiles/large_batch_bert.dir/large_batch_bert.cc.o.d"
+  "large_batch_bert"
+  "large_batch_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_batch_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_core.dir/core/access_tracker.cc.o"
+  "CMakeFiles/capu_core.dir/core/access_tracker.cc.o.d"
+  "CMakeFiles/capu_core.dir/core/capuchin_policy.cc.o"
+  "CMakeFiles/capu_core.dir/core/capuchin_policy.cc.o.d"
+  "CMakeFiles/capu_core.dir/core/policy_maker.cc.o"
+  "CMakeFiles/capu_core.dir/core/policy_maker.cc.o.d"
+  "CMakeFiles/capu_core.dir/core/trace_io.cc.o"
+  "CMakeFiles/capu_core.dir/core/trace_io.cc.o.d"
+  "libcapu_core.a"
+  "libcapu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

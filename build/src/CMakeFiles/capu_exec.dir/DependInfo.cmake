@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/cost_model.cc" "src/CMakeFiles/capu_exec.dir/exec/cost_model.cc.o" "gcc" "src/CMakeFiles/capu_exec.dir/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/capu_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/capu_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/memory_manager.cc" "src/CMakeFiles/capu_exec.dir/exec/memory_manager.cc.o" "gcc" "src/CMakeFiles/capu_exec.dir/exec/memory_manager.cc.o.d"
+  "/root/repo/src/exec/session.cc" "src/CMakeFiles/capu_exec.dir/exec/session.cc.o" "gcc" "src/CMakeFiles/capu_exec.dir/exec/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_exec.dir/exec/cost_model.cc.o"
+  "CMakeFiles/capu_exec.dir/exec/cost_model.cc.o.d"
+  "CMakeFiles/capu_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/capu_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/capu_exec.dir/exec/memory_manager.cc.o"
+  "CMakeFiles/capu_exec.dir/exec/memory_manager.cc.o.d"
+  "CMakeFiles/capu_exec.dir/exec/session.cc.o"
+  "CMakeFiles/capu_exec.dir/exec/session.cc.o.d"
+  "libcapu_exec.a"
+  "libcapu_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/autograd.cc" "src/CMakeFiles/capu_graph.dir/graph/autograd.cc.o" "gcc" "src/CMakeFiles/capu_graph.dir/graph/autograd.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/capu_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/capu_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/operation.cc" "src/CMakeFiles/capu_graph.dir/graph/operation.cc.o" "gcc" "src/CMakeFiles/capu_graph.dir/graph/operation.cc.o.d"
+  "/root/repo/src/graph/tensor.cc" "src/CMakeFiles/capu_graph.dir/graph/tensor.cc.o" "gcc" "src/CMakeFiles/capu_graph.dir/graph/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

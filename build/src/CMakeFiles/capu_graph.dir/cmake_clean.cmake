@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_graph.dir/graph/autograd.cc.o"
+  "CMakeFiles/capu_graph.dir/graph/autograd.cc.o.d"
+  "CMakeFiles/capu_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/capu_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/capu_graph.dir/graph/operation.cc.o"
+  "CMakeFiles/capu_graph.dir/graph/operation.cc.o.d"
+  "CMakeFiles/capu_graph.dir/graph/tensor.cc.o"
+  "CMakeFiles/capu_graph.dir/graph/tensor.cc.o.d"
+  "libcapu_graph.a"
+  "libcapu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

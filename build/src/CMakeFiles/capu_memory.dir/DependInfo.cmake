@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/bfc_allocator.cc" "src/CMakeFiles/capu_memory.dir/memory/bfc_allocator.cc.o" "gcc" "src/CMakeFiles/capu_memory.dir/memory/bfc_allocator.cc.o.d"
+  "/root/repo/src/memory/deferred_free.cc" "src/CMakeFiles/capu_memory.dir/memory/deferred_free.cc.o" "gcc" "src/CMakeFiles/capu_memory.dir/memory/deferred_free.cc.o.d"
+  "/root/repo/src/memory/host_pool.cc" "src/CMakeFiles/capu_memory.dir/memory/host_pool.cc.o" "gcc" "src/CMakeFiles/capu_memory.dir/memory/host_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

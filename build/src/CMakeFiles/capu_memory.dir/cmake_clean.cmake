@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_memory.dir/memory/bfc_allocator.cc.o"
+  "CMakeFiles/capu_memory.dir/memory/bfc_allocator.cc.o.d"
+  "CMakeFiles/capu_memory.dir/memory/deferred_free.cc.o"
+  "CMakeFiles/capu_memory.dir/memory/deferred_free.cc.o.d"
+  "CMakeFiles/capu_memory.dir/memory/host_pool.cc.o"
+  "CMakeFiles/capu_memory.dir/memory/host_pool.cc.o.d"
+  "libcapu_memory.a"
+  "libcapu_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

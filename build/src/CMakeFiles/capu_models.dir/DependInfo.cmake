@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bert.cc" "src/CMakeFiles/capu_models.dir/models/bert.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/bert.cc.o.d"
+  "/root/repo/src/models/builder.cc" "src/CMakeFiles/capu_models.dir/models/builder.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/builder.cc.o.d"
+  "/root/repo/src/models/densenet.cc" "src/CMakeFiles/capu_models.dir/models/densenet.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/densenet.cc.o.d"
+  "/root/repo/src/models/inception.cc" "src/CMakeFiles/capu_models.dir/models/inception.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/inception.cc.o.d"
+  "/root/repo/src/models/lstm.cc" "src/CMakeFiles/capu_models.dir/models/lstm.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/lstm.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/capu_models.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/CMakeFiles/capu_models.dir/models/vgg.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/vgg.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/capu_models.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/capu_models.dir/models/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_models.dir/models/bert.cc.o"
+  "CMakeFiles/capu_models.dir/models/bert.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/builder.cc.o"
+  "CMakeFiles/capu_models.dir/models/builder.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/densenet.cc.o"
+  "CMakeFiles/capu_models.dir/models/densenet.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/inception.cc.o"
+  "CMakeFiles/capu_models.dir/models/inception.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/lstm.cc.o"
+  "CMakeFiles/capu_models.dir/models/lstm.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/resnet.cc.o"
+  "CMakeFiles/capu_models.dir/models/resnet.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/vgg.cc.o"
+  "CMakeFiles/capu_models.dir/models/vgg.cc.o.d"
+  "CMakeFiles/capu_models.dir/models/zoo.cc.o"
+  "CMakeFiles/capu_models.dir/models/zoo.cc.o.d"
+  "libcapu_models.a"
+  "libcapu_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

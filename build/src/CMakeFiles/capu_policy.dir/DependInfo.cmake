@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/checkpointing_policy.cc" "src/CMakeFiles/capu_policy.dir/policy/checkpointing_policy.cc.o" "gcc" "src/CMakeFiles/capu_policy.dir/policy/checkpointing_policy.cc.o.d"
+  "/root/repo/src/policy/noop_policy.cc" "src/CMakeFiles/capu_policy.dir/policy/noop_policy.cc.o" "gcc" "src/CMakeFiles/capu_policy.dir/policy/noop_policy.cc.o.d"
+  "/root/repo/src/policy/vdnn_policy.cc" "src/CMakeFiles/capu_policy.dir/policy/vdnn_policy.cc.o" "gcc" "src/CMakeFiles/capu_policy.dir/policy/vdnn_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

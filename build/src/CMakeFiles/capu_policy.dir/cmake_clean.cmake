@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_policy.dir/policy/checkpointing_policy.cc.o"
+  "CMakeFiles/capu_policy.dir/policy/checkpointing_policy.cc.o.d"
+  "CMakeFiles/capu_policy.dir/policy/noop_policy.cc.o"
+  "CMakeFiles/capu_policy.dir/policy/noop_policy.cc.o.d"
+  "CMakeFiles/capu_policy.dir/policy/vdnn_policy.cc.o"
+  "CMakeFiles/capu_policy.dir/policy/vdnn_policy.cc.o.d"
+  "libcapu_policy.a"
+  "libcapu_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/capu_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/capu_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/gpu_device.cc" "src/CMakeFiles/capu_sim.dir/sim/gpu_device.cc.o" "gcc" "src/CMakeFiles/capu_sim.dir/sim/gpu_device.cc.o.d"
+  "/root/repo/src/sim/pcie_link.cc" "src/CMakeFiles/capu_sim.dir/sim/pcie_link.cc.o" "gcc" "src/CMakeFiles/capu_sim.dir/sim/pcie_link.cc.o.d"
+  "/root/repo/src/sim/stream.cc" "src/CMakeFiles/capu_sim.dir/sim/stream.cc.o" "gcc" "src/CMakeFiles/capu_sim.dir/sim/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/capu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

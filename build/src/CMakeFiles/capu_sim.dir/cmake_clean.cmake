@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/capu_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/capu_sim.dir/sim/gpu_device.cc.o"
+  "CMakeFiles/capu_sim.dir/sim/gpu_device.cc.o.d"
+  "CMakeFiles/capu_sim.dir/sim/pcie_link.cc.o"
+  "CMakeFiles/capu_sim.dir/sim/pcie_link.cc.o.d"
+  "CMakeFiles/capu_sim.dir/sim/stream.cc.o"
+  "CMakeFiles/capu_sim.dir/sim/stream.cc.o.d"
+  "libcapu_sim.a"
+  "libcapu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_stats.dir/stats/table.cc.o"
+  "CMakeFiles/capu_stats.dir/stats/table.cc.o.d"
+  "CMakeFiles/capu_stats.dir/stats/timeline.cc.o"
+  "CMakeFiles/capu_stats.dir/stats/timeline.cc.o.d"
+  "libcapu_stats.a"
+  "libcapu_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

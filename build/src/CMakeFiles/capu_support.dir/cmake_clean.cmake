@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capu_support.dir/support/logging.cc.o"
+  "CMakeFiles/capu_support.dir/support/logging.cc.o.d"
+  "CMakeFiles/capu_support.dir/support/rng.cc.o"
+  "CMakeFiles/capu_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/capu_support.dir/support/units.cc.o"
+  "CMakeFiles/capu_support.dir/support/units.cc.o.d"
+  "libcapu_support.a"
+  "libcapu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcapu_support.a"
+)

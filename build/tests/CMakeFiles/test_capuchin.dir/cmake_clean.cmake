@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capuchin.dir/capuchin_test.cc.o"
+  "CMakeFiles/test_capuchin.dir/capuchin_test.cc.o.d"
+  "test_capuchin"
+  "test_capuchin.pdb"
+  "test_capuchin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capuchin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

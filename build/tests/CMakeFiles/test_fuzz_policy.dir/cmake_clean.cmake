@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_policy.dir/fuzz_policy_test.cc.o"
+  "CMakeFiles/test_fuzz_policy.dir/fuzz_policy_test.cc.o.d"
+  "test_fuzz_policy"
+  "test_fuzz_policy.pdb"
+  "test_fuzz_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_maker.dir/policy_maker_test.cc.o"
+  "CMakeFiles/test_policy_maker.dir/policy_maker_test.cc.o.d"
+  "test_policy_maker"
+  "test_policy_maker.pdb"
+  "test_policy_maker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_maker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

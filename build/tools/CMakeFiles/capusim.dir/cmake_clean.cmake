@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capusim.dir/capusim.cc.o"
+  "CMakeFiles/capusim.dir/capusim.cc.o.d"
+  "capusim"
+  "capusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
