@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deriving checkable Plans from the static baselines.
+ *
+ * vDNN (layer-wise offload) and OpenAI checkpointing make their decisions
+ * from graph structure alone, but the decisions are the same shape as a
+ * Capuchin plan: evict tensor X after access i, regenerate at access j by
+ * swap or recomputation. These adapters express a baseline's static
+ * choice as a `Plan` over a measured access trace, so the PlanChecker
+ * verifies all three policies through one rule set — exactly the
+ * cross-policy backstop the evaluation needs (every comparison runs on
+ * identical machinery, so every plan should satisfy identical
+ * invariants).
+ */
+
+#ifndef CAPU_ANALYSIS_BASELINE_PLANS_HH
+#define CAPU_ANALYSIS_BASELINE_PLANS_HH
+
+#include <vector>
+
+#include "analysis/plan_checker.hh"
+#include "core/access_tracker.hh"
+#include "core/policy_maker.hh"
+#include "graph/graph.hh"
+
+namespace capu
+{
+
+/**
+ * vDNN's offload list as a Plan: each target is evicted (swap) after its
+ * last forward access and regenerated at the following access; the
+ * in-trigger is the one-ahead static prefetch (the back-access of the
+ * next target in forward order). Targets with no backward access in the
+ * trace are skipped.
+ */
+Plan planFromOffloadTargets(const Graph &graph,
+                            const AccessTracker &tracker,
+                            const std::vector<TensorId> &targets,
+                            const PlanChecker::BytesFn &tensor_bytes,
+                            const PlanChecker::SwapTimeFn &swap_time);
+
+/**
+ * A checkpointing drop set as a Plan: each dropped activation is evicted
+ * (recompute) after its last forward access and replayed at the
+ * following access.
+ */
+Plan planFromDropSet(const Graph &graph, const AccessTracker &tracker,
+                     const std::vector<TensorId> &drop_set,
+                     const PlanChecker::BytesFn &tensor_bytes);
+
+} // namespace capu
+
+#endif // CAPU_ANALYSIS_BASELINE_PLANS_HH

@@ -29,7 +29,7 @@ CapuchinPolicy::beginIteration(ExecContext &ctx)
 }
 
 void
-CapuchinPolicy::buildPlan(ExecContext &ctx)
+CapuchinPolicy::buildPlan(ExecContext &ctx, bool audit)
 {
     PolicyMakerOptions pm_opts;
     pm_opts.enableSwap = opts_.enableSwap;
@@ -48,6 +48,8 @@ CapuchinPolicy::buildPlan(ExecContext &ctx)
     rebuildTriggerMaps();
     planBuilt_ = true;
     inform("capuchin {}", plan_.summary());
+    if (audit && opts_.planAudit)
+        opts_.planAudit(plan_, tracker_, ctx);
 }
 
 void
@@ -325,7 +327,10 @@ CapuchinPolicy::onIterationAbort(ExecContext &ctx)
         // further each retry until one measured pass completes.
         if (tracker_.empty())
             return false;
-        buildPlan(ctx);
+        // Partial trace: last-access times are truncated, so plan
+        // invariants cannot be judged fairly — skip the audit here; the
+        // rebuild from the eventual complete trace gets audited.
+        buildPlan(ctx, /*audit=*/false);
         planFromPartial_ = true;
         return true;
     }

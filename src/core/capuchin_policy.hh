@@ -24,6 +24,7 @@
 #define CAPU_CORE_CAPUCHIN_POLICY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -59,6 +60,15 @@ struct CapuchinOptions
      * runtime feedbacks", stable "usually within 50 iterations").
      */
     int maxReplans = 20;
+    /**
+     * Optional plan audit (capulint): invoked every time a plan is built
+     * from a *complete* measured trace, before guided execution resumes.
+     * Installed by analysis/lint_hooks::enablePlanLint; the installed
+     * hook panics on error-level findings, so a broken plan dies at the
+     * decision site instead of deep inside the executor.
+     */
+    std::function<void(const Plan &, const AccessTracker &, ExecContext &)>
+        planAudit;
 };
 
 class CapuchinPolicy : public MemoryPolicy
@@ -114,7 +124,7 @@ class CapuchinPolicy : public MemoryPolicy
                static_cast<std::uint32_t>(access_index);
     }
 
-    void buildPlan(ExecContext &ctx);
+    void buildPlan(ExecContext &ctx, bool audit = true);
     void rebuildTriggerMaps();
     bool passiveEvict(ExecContext &ctx, std::uint64_t bytes);
 };

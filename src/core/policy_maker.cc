@@ -60,16 +60,28 @@ PolicyMaker::gatherCandidates(const BytesFn &tensor_bytes,
         c.swapTime = swap_time(bytes);
 
         Tick best_interval = 0;
+        bool have_pair = false;
         for (std::size_t i = 0; i + 1 < recs.size(); ++i) {
+            // The stall-corrected timeline can locally run backwards when
+            // passive mode stalls faster than the clock advances; an
+            // inverted pair is a measurement artifact, not a reuse gap
+            // (unsigned subtraction would turn it into a huge "interval"
+            // and make the pair irresistible — caught by capulint's
+            // bad-interval rule).
+            if (recs[i + 1].time < recs[i].time)
+                continue;
             Tick interval = recs[i + 1].time - recs[i].time;
             if (interval >= best_interval) {
                 best_interval = interval;
+                have_pair = true;
                 c.evictAfterAccess = recs[i].accessIndex;
                 c.backAccess = recs[i + 1].accessIndex;
                 c.evictTime = recs[i].time;
                 c.backTime = recs[i + 1].time;
             }
         }
+        if (!have_pair)
+            continue;
         // FT = SwapInStart - SwapOutEnd
         //    = (back - SwapTime) - (evict + SwapTime)       (Eq. 1)
         // Clamped at zero; the negative part ("exposure") is recomputed at
@@ -186,6 +198,10 @@ PolicyMaker::repickTrigger(PlannedEviction &item) const
     const AccessRecord *earliest_after = nullptr;
     for (const auto &rec : tracker_.sequence()) {
         if (rec.time <= item.evictTime)
+            continue;
+        // A trigger at/after the back-access is useless: the on-demand
+        // path would already have fired.
+        if (rec.time >= item.backTime)
             continue;
         if (rec.tensor == item.tensor)
             continue;

@@ -1,5 +1,6 @@
 #include "core/trace_io.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -163,6 +164,83 @@ loadTraceFile(const std::string &path)
     if (!is)
         fatal("cannot open trace file '{}'", path);
     return readTrace(is);
+}
+
+Graph
+reconstructGraph(const TensorTrace &trace)
+{
+    TensorId max_tensor = 0;
+    OpId max_op = 0;
+    bool any_op = false;
+    for (const auto &t : trace.tensors)
+        max_tensor = std::max(max_tensor, t.id);
+    for (const auto &r : trace.records) {
+        max_tensor = std::max(max_tensor, r.tensor);
+        if (r.op != kInvalidOp) {
+            max_op = std::max(max_op, r.op);
+            any_op = true;
+        }
+    }
+
+    Graph g("trace");
+    if (trace.records.empty() && trace.tensors.empty())
+        return g;
+
+    // Tensor table first, ids preserved (addTensor assigns sequentially).
+    std::vector<const TraceTensorInfo *> by_id(max_tensor + 1, nullptr);
+    for (const auto &t : trace.tensors)
+        by_id[t.id] = &t;
+    for (TensorId id = 0; id <= max_tensor; ++id) {
+        if (by_id[id] != nullptr) {
+            g.addTensor(by_id[id]->name, by_id[id]->bytes, by_id[id]->kind);
+        } else {
+            g.addTensor("(unseen:" + std::to_string(id) + ")", 0,
+                        TensorKind::Workspace);
+        }
+    }
+
+    if (!any_op)
+        return g;
+
+    // Ops from the records: reads are inputs, writes outputs. A malformed
+    // trace may claim two producers for one tensor; keep the first so the
+    // graph stays constructible and let the checker flag the fallout.
+    struct OpIo
+    {
+        std::vector<TensorId> inputs;
+        std::vector<TensorId> outputs;
+    };
+    std::vector<OpIo> io(max_op + 1);
+    std::vector<bool> produced(max_tensor + 1, false);
+    auto add_unique = [](std::vector<TensorId> &v, TensorId t) {
+        if (std::find(v.begin(), v.end(), t) == v.end())
+            v.push_back(t);
+    };
+    for (const auto &r : trace.records) {
+        if (r.op == kInvalidOp)
+            continue;
+        if (r.isOutput) {
+            if (!produced[r.tensor]) {
+                produced[r.tensor] = true;
+                add_unique(io[r.op].outputs, r.tensor);
+            }
+        } else {
+            add_unique(io[r.op].inputs, r.tensor);
+        }
+    }
+    for (OpId id = 0; id <= max_op; ++id) {
+        Operation op;
+        op.name = "op" + std::to_string(id);
+        op.inputs = std::move(io[id].inputs);
+        op.outputs = std::move(io[id].outputs);
+        // An op that reads nothing is a batch source: replaying it would
+        // fabricate fresh data, so it must not count as recomputable.
+        op.recomputable = !op.inputs.empty();
+        if (op.recomputable == false)
+            op.category = OpCategory::Source;
+        g.addOp(std::move(op));
+    }
+    return g;
 }
 
 } // namespace capu

@@ -62,6 +62,19 @@ TensorTrace readTrace(std::istream &is);
 void saveTraceFile(const std::string &path, const TensorTrace &trace);
 TensorTrace loadTraceFile(const std::string &path);
 
+/**
+ * Rebuild a skeletal Graph from a trace alone: tensors come from the
+ * tensor table (ids preserved; never-accessed ids become zero-byte
+ * placeholders), ops from the records (an op's inputs are the tensors it
+ * read, its outputs the ones it wrote). Ops that read nothing are marked
+ * non-recomputable — they are batch sources whose replay would fabricate
+ * data. Phases and categories are unknown offline and default to
+ * Forward/Elementwise; everything the PolicyMaker and PlanChecker need
+ * (lineage, kinds, sizes, measured durations via the tracker) survives,
+ * which is what makes offline plan linting possible.
+ */
+Graph reconstructGraph(const TensorTrace &trace);
+
 } // namespace capu
 
 #endif // CAPU_CORE_TRACE_IO_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -336,15 +337,14 @@ Executor::recomputeTensor(TensorId target, Tick at)
 
     auto release_from = [&](std::vector<TensorId> &pool, Tick when,
                             std::size_t plan_pos) {
-        std::vector<TensorId> still_needed;
+        std::unordered_set<TensorId> still_needed;
         for (std::size_t p = plan_pos; p < plan.size(); ++p) {
             for (TensorId in : graph_.op(plan[p]).inputs)
-                still_needed.push_back(in);
+                still_needed.insert(in);
         }
         bool any = false;
         for (auto it = pool.begin(); it != pool.end();) {
-            if (std::find(still_needed.begin(), still_needed.end(), *it) ==
-                still_needed.end()) {
+            if (still_needed.count(*it) == 0) {
                 TensorState &st = state(*it);
                 if (st.gpuHandle) {
                     mem_.freeAt(when, *st.gpuHandle);
@@ -712,6 +712,12 @@ std::uint64_t
 Executor::gpuCapacity() const
 {
     return mem_.gpu().capacity();
+}
+
+std::uint64_t
+Executor::hostCapacity() const
+{
+    return mem_.host().capacity();
 }
 
 bool

@@ -194,6 +194,7 @@ class Executor : public ExecContext
     std::uint64_t tensorBytes(TensorId id) const override;
     std::uint64_t freeGpuBytes() const override;
     std::uint64_t gpuCapacity() const override;
+    std::uint64_t hostCapacity() const override;
     bool canAllocateNow(std::uint64_t bytes) override;
     std::vector<TensorId> victimsForContiguous(std::uint64_t bytes) override;
     bool canRegenerate(TensorId id) override;

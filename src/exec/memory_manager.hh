@@ -55,6 +55,7 @@ class MemoryManager
     BfcAllocator &gpu() { return gpu_; }
     const BfcAllocator &gpu() const { return gpu_; }
     HostPinnedPool &host() { return host_; }
+    const HostPinnedPool &host() const { return host_; }
 
     std::optional<Tick> nextPendingFree() const;
 

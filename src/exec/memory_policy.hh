@@ -19,6 +19,7 @@
 #define CAPU_EXEC_MEMORY_POLICY_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ struct AccessEvent
     bool isOutput = false;
     OpId op = kInvalidOp;
 };
+
+class ExecContext;
+
+/**
+ * Observer over a policy's access stream. Lets external tooling (the plan
+ * linter) record a trace through a policy that does not itself track
+ * accesses, without the policy depending on the tracker.
+ */
+using AccessObserverFn =
+    std::function<void(ExecContext &, const AccessEvent &)>;
 
 /** Facade the executor exposes to policies. */
 class ExecContext
@@ -97,6 +108,8 @@ class ExecContext
      * foresight should gate drops on this.
      */
     virtual bool canRegenerateStably(TensorId id) = 0;
+    /** Host staging-pool capacity (swap-out destination budget). */
+    virtual std::uint64_t hostCapacity() const = 0;
     /** Pure PCIe transfer time for `bytes` (the paper's SwapTime). */
     virtual Tick swapTime(std::uint64_t bytes) const = 0;
     /** Cumulative memory-management stall so far this iteration. */

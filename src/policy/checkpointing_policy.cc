@@ -94,6 +94,13 @@ CheckpointingPolicy::attach(const Graph &graph,
 }
 
 void
+CheckpointingPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
+{
+    if (observer_ && ctx.iteration() == 0)
+        observer_(ctx, event);
+}
+
+void
 CheckpointingPolicy::afterOp(ExecContext &ctx, OpId op, Tick op_end)
 {
     (void)op_end;
@@ -121,6 +128,15 @@ CheckpointingPolicy::onAllocFailure(ExecContext &ctx, std::uint64_t bytes)
         any = true;
     }
     return any;
+}
+
+void
+CheckpointingPolicy::endIteration(ExecContext &ctx,
+                                  const IterationStats &stats)
+{
+    (void)stats;
+    if (audit_ && ctx.iteration() == 0)
+        audit_(*this, ctx);
 }
 
 std::unique_ptr<MemoryPolicy>

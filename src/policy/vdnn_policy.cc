@@ -105,6 +105,8 @@ VdnnPolicy::afterOp(ExecContext &ctx, OpId op, Tick op_end)
 void
 VdnnPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
 {
+    if (observer_ && ctx.iteration() == 0)
+        observer_(ctx, event);
     // Static one-ahead prefetch: the backward access of target[i] triggers
     // the fetch of target[i-1] (the next one the backward pass will need).
     if (event.isOutput)
@@ -137,6 +139,14 @@ VdnnPolicy::onAllocFailure(ExecContext &ctx, std::uint64_t bytes)
         }
     }
     return freed > 0;
+}
+
+void
+VdnnPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
+{
+    (void)stats;
+    if (audit_ && ctx.iteration() == 0)
+        audit_(*this, ctx);
 }
 
 std::unique_ptr<MemoryPolicy>

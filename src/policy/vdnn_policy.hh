@@ -49,9 +49,24 @@ class VdnnPolicy : public MemoryPolicy
     void onAccess(ExecContext &ctx, const AccessEvent &event) override;
     void afterOp(ExecContext &ctx, OpId op, Tick op_end) override;
     bool onAllocFailure(ExecContext &ctx, std::uint64_t bytes) override;
+    void endIteration(ExecContext &ctx, const IterationStats &stats) override;
 
     /** Offload targets in forward order (exposed for tests). */
     const std::vector<TensorId> &targets() const { return targets_; }
+
+    using AuditFn = std::function<void(const VdnnPolicy &, ExecContext &)>;
+
+    /**
+     * Lint hook (analysis/lint_hooks): `observer` sees every access of
+     * iteration 0, `audit` fires at the end of iteration 0 with the
+     * static offload decision available via targets().
+     */
+    void
+    setAudit(AccessObserverFn observer, AuditFn audit)
+    {
+        observer_ = std::move(observer);
+        audit_ = std::move(audit);
+    }
 
   private:
     Mode mode_;
@@ -67,6 +82,8 @@ class VdnnPolicy : public MemoryPolicy
     /** op -> targets whose last forward use is this op. */
     std::unordered_map<OpId, std::vector<TensorId>> offloadAfter_;
     std::vector<bool> isForwardOp_;
+    AccessObserverFn observer_;
+    AuditFn audit_;
 };
 
 std::unique_ptr<MemoryPolicy>

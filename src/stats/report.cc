@@ -1,0 +1,35 @@
+#include "stats/report.hh"
+
+#include <algorithm>
+
+namespace capu
+{
+
+Table
+diagnosticTable(const std::vector<DiagnosticRow> &rows)
+{
+    Table t({"severity", "rule", "subject", "where", "message"});
+    for (const DiagnosticRow &row : rows)
+        t.addRow({row.severity, row.rule, row.subject, row.location,
+                  row.message});
+    return t;
+}
+
+void
+printDiagnostics(std::ostream &os, std::vector<DiagnosticRow> rows)
+{
+    if (rows.empty()) {
+        os << "no findings\n";
+        return;
+    }
+    // Errors above warnings, stable within each class so findings stay in
+    // discovery order.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const DiagnosticRow &a, const DiagnosticRow &b) {
+                         return (a.severity == "error") >
+                                (b.severity == "error");
+                     });
+    diagnosticTable(rows).print(os);
+}
+
+} // namespace capu

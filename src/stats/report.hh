@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Generic diagnostic-table rendering.
+ *
+ * Static analyses (the plan verifier, future checkers) report findings as
+ * rows of {severity, rule, subject, location, message}; this module turns
+ * them into the same aligned tables the benches print, so diagnostics
+ * read uniformly next to result tables. Kept free of analysis types on
+ * purpose: stats is a leaf subsystem and must not depend upward.
+ */
+
+#ifndef CAPU_STATS_REPORT_HH
+#define CAPU_STATS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/table.hh"
+
+namespace capu
+{
+
+/** One diagnostic rendered as a table row. */
+struct DiagnosticRow
+{
+    std::string severity; ///< e.g. "error" / "warning"
+    std::string rule;     ///< short machine-greppable rule name
+    std::string subject;  ///< what the finding is about (tensor, file, ...)
+    std::string location; ///< where (access index, line, ...); may be empty
+    std::string message;  ///< human-readable explanation
+};
+
+/** Build the aligned diagnostics table (header: severity/rule/...). */
+Table diagnosticTable(const std::vector<DiagnosticRow> &rows);
+
+/**
+ * Print the table, or a "no findings" line when `rows` is empty.
+ * Severity-sorted: errors first, then warnings, original order within.
+ */
+void printDiagnostics(std::ostream &os, std::vector<DiagnosticRow> rows);
+
+} // namespace capu
+
+#endif // CAPU_STATS_REPORT_HH

@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/lint_hooks.hh"
 #include "core/capuchin_policy.hh"
 #include "core/trace_io.hh"
 #include "exec/session.hh"
@@ -41,6 +42,7 @@ struct Options
     std::int64_t batch = 256;
     int iterations = 10;
     bool eager = false;
+    bool lint = false;
     bool findMax = false;
     bool csv = false;
     bool list = false;
@@ -69,29 +71,52 @@ buildByName(const std::string &name, std::int64_t batch)
 }
 
 std::unique_ptr<MemoryPolicy>
-policyByName(const std::string &name)
+policyByName(const std::string &name, bool lint)
 {
-    if (name == "tf" || name == "none")
+    auto vdnn = [&](VdnnPolicy::Mode mode) -> std::unique_ptr<MemoryPolicy> {
+        auto p = std::make_unique<VdnnPolicy>(mode);
+        if (lint)
+            enablePlanLint(*p);
+        return p;
+    };
+    auto openai = [&](CheckpointingPolicy::Mode mode)
+        -> std::unique_ptr<MemoryPolicy> {
+        auto p = std::make_unique<CheckpointingPolicy>(mode);
+        if (lint)
+            enablePlanLint(*p);
+        return p;
+    };
+    auto capuchin =
+        [&](CapuchinOptions o) -> std::unique_ptr<MemoryPolicy> {
+        if (lint)
+            enablePlanLint(o);
+        return makeCapuchinPolicy(o);
+    };
+
+    if (name == "tf" || name == "none") {
+        if (lint)
+            warn("--lint has no effect on the '{}' policy", name);
         return makeNoOpPolicy();
+    }
     if (name == "vdnn")
-        return makeVdnnPolicy();
+        return vdnn(VdnnPolicy::Mode::All);
     if (name == "vdnn-conv")
-        return makeVdnnPolicy(VdnnPolicy::Mode::ConvOnly);
+        return vdnn(VdnnPolicy::Mode::ConvOnly);
     if (name == "openai-m")
-        return makeCheckpointingPolicy(CheckpointingPolicy::Mode::Memory);
+        return openai(CheckpointingPolicy::Mode::Memory);
     if (name == "openai-s")
-        return makeCheckpointingPolicy(CheckpointingPolicy::Mode::Speed);
+        return openai(CheckpointingPolicy::Mode::Speed);
     if (name == "capuchin")
-        return makeCapuchinPolicy();
+        return capuchin(CapuchinOptions{});
     if (name == "capuchin-swap") {
         CapuchinOptions o;
         o.enableRecompute = false;
-        return makeCapuchinPolicy(o);
+        return capuchin(o);
     }
     if (name == "capuchin-recompute") {
         CapuchinOptions o;
         o.enableSwap = false;
-        return makeCapuchinPolicy(o);
+        return capuchin(o);
     }
     fatal("unknown policy '{}' (try --list)", name);
 }
@@ -121,6 +146,9 @@ usage()
         "  --iters <n>        training iterations (default 10)\n"
         "  --eager            imperative execution (graph-agnostic\n"
         "                     policies only)\n"
+        "  --lint             verify the memory plan (capulint rules)\n"
+        "                     before guided execution; error-level\n"
+        "                     findings abort the run\n"
         "  --max-batch        binary-search the maximum feasible batch\n"
         "  --dump-trace <f>   run 1 iteration under Capuchin and write the\n"
         "                     measured tensor-access trace to <f>\n"
@@ -150,6 +178,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.iterations = std::atoi(next());
         else if (a == "--eager")
             opt.eager = true;
+        else if (a == "--lint")
+            opt.lint = true;
         else if (a == "--max-batch")
             opt.findMax = true;
         else if (a == "--dump-trace")
@@ -192,7 +222,7 @@ main(int argc, char **argv)
         if (opt.findMax) {
             auto mb = findMaxBatch(
                 [&](std::int64_t b) { return buildByName(opt.model, b); },
-                [&] { return policyByName(opt.policy); }, cfg);
+                [&] { return policyByName(opt.policy, opt.lint); }, cfg);
             std::cout << "max batch for " << opt.model << " under "
                       << opt.policy << (opt.eager ? " (eager)" : "")
                       << ": " << mb << "\n";
@@ -217,7 +247,7 @@ main(int argc, char **argv)
         }
 
         Session session(buildByName(opt.model, opt.batch), cfg,
-                        policyByName(opt.policy));
+                        policyByName(opt.policy, opt.lint));
         auto r = session.run(opt.iterations);
 
         if (opt.csv) {
@@ -256,5 +286,9 @@ main(int argc, char **argv)
     } catch (const FatalError &e) {
         std::cerr << "capusim: " << e.what() << "\n";
         return 1;
+    } catch (const PanicError &e) {
+        // A --lint audit (or any simulator self-check) rejected the run.
+        std::cerr << "capusim: " << e.what() << "\n";
+        return 3;
     }
 }
