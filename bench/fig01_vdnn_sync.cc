@@ -6,9 +6,10 @@
  * the execution time of the layer meant to overlap them, and the
  * accumulated synchronization costs 41.3% of training performance.
  *
- * This bench runs vDNN on Vgg16@230 with stream interval logging, renders
- * the compute/memory timeline around the largest swap, and quantifies the
- * loss against a hypothetical no-eviction run (uncapped pool).
+ * This bench runs vDNN on Vgg16@230 with full event tracing, renders the
+ * compute/memory timeline around the largest swap from the trace, and
+ * quantifies the loss against a hypothetical no-eviction run (uncapped
+ * pool).
  */
 
 #include <algorithm>
@@ -36,7 +37,7 @@ main()
 
     // vDNN on the real card.
     ExecConfig cfg;
-    cfg.recordTimeline = true;
+    cfg.obsLevel = obs::ObsLevel::Full;
     Session vdnn(buildVgg16(batch), cfg, makePolicy(System::Vdnn));
     auto r_vdnn = vdnn.run(3);
     if (r_vdnn.oom) {
@@ -49,24 +50,30 @@ main()
     double loss = 1.0 - static_cast<double>(ideal_iter) /
                             static_cast<double>(vdnn_iter);
 
-    // Largest swap-out on the D2H lane vs the compute that "covers" it.
-    auto &exec = vdnn.executor();
-    const auto &d2h = exec.pcie().lane(CopyDir::DeviceToHost).intervals();
-    const StreamInterval *largest = nullptr;
-    for (const auto &iv : d2h) {
-        if (!largest || iv.end - iv.start > largest->end - largest->start)
-            largest = &iv;
-    }
+    // Largest swap-out on the D2H track vs the compute that "covers" it.
+    const obs::Tracer &tracer = vdnn.executor().obs().tracer;
+    obs::TraceEvent largest;
+    bool found = false;
+    tracer.forEach([&](const obs::TraceEvent &ev) {
+        if (ev.phase != obs::EventPhase::Complete ||
+            ev.track != obs::kTrackD2H)
+            return;
+        if (!found || ev.dur > largest.dur) {
+            largest = ev;
+            found = true;
+        }
+    });
 
     Table t({"metric", "paper", "measured"});
     t.addRow({"performance loss vs no-eviction", "41.3%",
               cellPercent(loss)});
-    if (largest) {
-        Tick swap = largest->end - largest->start;
+    if (found) {
+        Tick swap = largest.dur;
+        Tick sw_end = largest.ts + largest.dur;
         // Compute busy inside the swap window = the overlap achieved.
         Tick overlap = static_cast<Tick>(
-            streamUtilization(exec.computeStream().intervals(),
-                              largest->start, largest->end) *
+            trackUtilization(tracer, obs::kTrackCompute, largest.ts,
+                             sw_end) *
             static_cast<double>(swap));
         t.addRow({"largest swap-out", "-", formatTicks(swap)});
         t.addRow({"compute overlapped with it", "-", formatTicks(overlap)});
@@ -78,19 +85,18 @@ main()
               formatBytes(r_vdnn.last().swapOutBytes)});
     t.print(std::cout);
 
-    if (largest) {
+    if (found) {
         std::cout << "\nTimeline around the largest swap-out (comp = "
                      "kernels, d2h/h2d = PCIe lanes):\n\n";
-        Tick span = largest->end - largest->start;
-        Tick lo = largest->start > span / 2 ? largest->start - span / 2 : 0;
-        Tick hi = largest->end + span / 2;
-        renderTimeline(
-            std::cout,
-            {{"comp", &exec.computeStream().intervals()},
-             {"d2h", &d2h},
-             {"h2d",
-              &exec.pcie().lane(CopyDir::HostToDevice).intervals()}},
-            lo, hi, 96);
+        Tick span = largest.dur;
+        Tick sw_end = largest.ts + largest.dur;
+        Tick lo = largest.ts > span / 2 ? largest.ts - span / 2 : 0;
+        Tick hi = sw_end + span / 2;
+        renderTimeline(std::cout, tracer,
+                       {{"comp", obs::kTrackCompute},
+                        {"d2h", obs::kTrackD2H},
+                        {"h2d", obs::kTrackH2D}},
+                       lo, hi, 96);
     }
     std::cout << "\nTakeaway: layer-wise coupled swapping leaves the "
                  "compute stream idle whenever a layer is too short to "

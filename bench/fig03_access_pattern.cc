@@ -19,50 +19,6 @@
 using namespace capu;
 using namespace capu::bench;
 
-namespace
-{
-
-/** Records per-iteration access timestamps for every tensor. */
-class AccessProbe : public NoOpPolicy
-{
-  public:
-    int iter = 0;
-    Tick iterStart = 0;
-    // tensor -> iteration -> relative access times
-    std::map<TensorId, std::map<int, std::vector<Tick>>> log;
-
-    void
-    beginIteration(ExecContext &ctx) override
-    {
-        (void)ctx;
-        started_ = false;
-    }
-
-    void
-    onAccess(ExecContext &ctx, const AccessEvent &ev) override
-    {
-        (void)ctx;
-        if (!started_) {
-            iterStart = ev.when;
-            started_ = true;
-        }
-        log[ev.tensor][iter].push_back(ev.when - iterStart);
-    }
-
-    void
-    endIteration(ExecContext &ctx, const IterationStats &stats) override
-    {
-        (void)ctx;
-        (void)stats;
-        ++iter;
-    }
-
-  private:
-    bool started_ = false;
-};
-
-} // namespace
-
 int
 main()
 {
@@ -70,21 +26,42 @@ main()
            "Figure 3");
 
     const std::int64_t batch = 64;
-    auto probe_owner = std::make_unique<AccessProbe>();
-    AccessProbe *probe = probe_owner.get();
-    Session s(buildResNet(batch, 50), ExecConfig{}, std::move(probe_owner));
+    ExecConfig cfg;
+    cfg.obsLevel = obs::ObsLevel::Full;
+    Session s(buildResNet(batch, 50), cfg, makeNoOpPolicy());
     auto r = s.run(16);
     if (r.oom) {
         std::cout << "unexpected OOM\n";
         return 1;
     }
 
+    // Reconstruct per-iteration access timestamps from the trace: the host
+    // track carries an "iter:N" marker at each iteration start followed by
+    // one Access instant per tensor touch, all in emission order.
+    // tensor -> iteration -> relative access times
+    std::map<TensorId, std::map<int, std::vector<Tick>>> log;
+    int cur_iter = -1;
+    Tick iter_start = 0;
+    s.executor().obs().tracer.forEach([&](const obs::TraceEvent &ev) {
+        if (ev.kind == obs::EventKind::Marker &&
+            ev.phase == obs::EventPhase::Instant &&
+            ev.name.rfind("iter:", 0) == 0) {
+            cur_iter = std::stoi(ev.name.substr(5));
+            iter_start = ev.ts;
+            return;
+        }
+        if (ev.kind != obs::EventKind::Access || cur_iter < 0)
+            return;
+        log[static_cast<TensorId>(ev.tensor)][cur_iter].push_back(
+            ev.ts - iter_start);
+    });
+
     // Pick the paper's tensor shapes: one 4-access and two 6-access
     // feature maps (choose the largest of each class for relevance).
     const Graph &g = s.graph();
     auto pick = [&](std::size_t accesses, int skip) -> TensorId {
         std::vector<std::pair<std::uint64_t, TensorId>> hits;
-        for (const auto &[tid, iters] : probe->log) {
+        for (const auto &[tid, iters] : log) {
             if (g.tensor(tid).kind != TensorKind::FeatureMap)
                 continue;
             auto it = iters.find(5);
@@ -106,9 +83,9 @@ main()
          {std::pair{"T1", t1}, std::pair{"T2", t2}, std::pair{"T3", t3}}) {
         if (tid == kInvalidTensor)
             continue;
-        const auto &ref = probe->log[tid][5];
+        const auto &ref = log[tid][5];
         for (int iter : {5, 10, 15}) {
-            const auto &times = probe->log[tid][iter];
+            const auto &times = log[tid][iter];
             std::string ts;
             for (Tick v : times)
                 ts += (ts.empty() ? "" : ", ") + cellDouble(ticksToMs(v), 2);

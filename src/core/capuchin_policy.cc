@@ -48,6 +48,23 @@ CapuchinPolicy::buildPlan(ExecContext &ctx, bool audit)
     rebuildTriggerMaps();
     planBuilt_ = true;
     inform("capuchin {}", plan_.summary());
+
+    auto &o = ctx.obs();
+    o.metrics.add("plan.builds");
+    o.metrics.setCounter("plan.items", plan_.items.size());
+    o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Plan, ctx.now(),
+                     "plan.build", -1, -1, plan_.plannedBytes);
+    if (o.tracing()) {
+        for (const auto &item : plan_.items) {
+            if (item.mode != RegenChoice::Swap ||
+                item.triggerTensor == kInvalidTensor)
+                continue;
+            o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Plan,
+                             ctx.now(), "plan.intrigger",
+                             static_cast<std::int64_t>(item.tensor));
+        }
+    }
+
     if (audit && opts_.planAudit)
         opts_.planAudit(plan_, tracker_, ctx);
 }
@@ -94,17 +111,30 @@ CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
     // Guided execution: fire the plan's triggers for this exact access.
     auto k = key(event.tensor, event.accessIndex);
 
+    auto &o = ctx.obs();
     auto pf = opts_.enablePrefetch ? prefetchTriggers_.find(k)
                                    : prefetchTriggers_.end();
     if (pf != prefetchTriggers_.end()) {
-        for (std::size_t idx : pf->second)
+        for (std::size_t idx : pf->second) {
+            o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
+                             ctx.now(), "trigger.prefetch",
+                             static_cast<std::int64_t>(
+                                 plan_.items[idx].tensor));
+            o.metrics.add("trigger.prefetch");
             ctx.prefetchAsync(plan_.items[idx].tensor);
+        }
     }
 
     auto ev = evictTriggers_.find(k);
     if (ev != evictTriggers_.end()) {
         const PlannedEviction &item = plan_.items[ev->second];
-        if (item.mode == RegenChoice::Swap)
+        bool swap = item.mode == RegenChoice::Swap;
+        o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
+                         ctx.now(),
+                         swap ? "trigger.evict.swap" : "trigger.evict.drop",
+                         static_cast<std::int64_t>(item.tensor));
+        o.metrics.add(swap ? "trigger.evict.swap" : "trigger.evict.drop");
+        if (swap)
             ctx.evictSwapAsync(item.tensor);
         else
             ctx.evictDrop(item.tensor);
@@ -133,6 +163,7 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
     auto account = [&](std::uint64_t evicted_bytes, bool necessary) {
         freed += evicted_bytes;
         any = true;
+        ctx.obs().metrics.add("passive.evicted_bytes", evicted_bytes);
         if (!necessary)
             return;
         if (measured_)
@@ -158,6 +189,10 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
     // regenerates by recomputation are simply re-dropped (no transfer, no
     // later swap-in stall); everything else is synchronously swapped.
     auto evict_victim = [&](TensorId id) {
+        ctx.obs().tracer.instant(obs::kTrackPolicy,
+                                 obs::EventKind::Decision, ctx.now(),
+                                 "passive.evict",
+                                 static_cast<std::int64_t>(id));
         if (planBuilt_) {
             auto it = itemOf_.find(id);
             if (it != itemOf_.end() &&
@@ -197,8 +232,14 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
             if (ctx.status(item.tensor) != TensorStatus::In ||
                 ctx.isPinned(item.tensor))
                 continue;
+            ctx.obs().tracer.instant(obs::kTrackPolicy,
+                                     obs::EventKind::Decision, ctx.now(),
+                                     "passive.redrop",
+                                     static_cast<std::int64_t>(item.tensor));
             ctx.evictDrop(item.tensor);
             freed += ctx.tensorBytes(item.tensor);
+            ctx.obs().metrics.add("passive.evicted_bytes",
+                                  ctx.tensorBytes(item.tensor));
             any = true;
         }
     }
@@ -245,7 +286,6 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
 void
 CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
 {
-    (void)ctx;
     if (measured_ || !opts_.enableFeedback || stall == 0)
         return;
     auto it = itemOf_.find(id);
@@ -254,6 +294,10 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
     PlannedEviction &item = plan_.items[it->second];
     if (item.mode != RegenChoice::Swap)
         return;
+    ctx.obs().tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
+                             ctx.now(), "feedback.shift",
+                             static_cast<std::int64_t>(id));
+    ctx.obs().metrics.add("feedback.adjustments");
     // The tensor was still SWAPPING_IN (or absent) at its back-access:
     // shift the in-trigger earlier by feedbackStep x SwapTime (§4.4).
     auto shift = static_cast<Tick>(
@@ -300,6 +344,10 @@ CapuchinPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
             targetBoost_ += guidedPassiveBytes_;
             guidedPassiveBytes_ = 0;
             ++replans_;
+            ctx.obs().tracer.instant(obs::kTrackPolicy,
+                                     obs::EventKind::Plan, ctx.now(),
+                                     "plan.refine");
+            ctx.obs().metrics.add("plan.revisions");
             buildPlan(ctx);
             return;
         }
@@ -342,6 +390,9 @@ CapuchinPolicy::onIterationAbort(ExecContext &ctx)
     guidedPassiveBytes_ = 0;
     ++replans_;
     refinementFrozen_ = false;
+    ctx.obs().tracer.instant(obs::kTrackPolicy, obs::EventKind::Plan,
+                             ctx.now(), "plan.refine");
+    ctx.obs().metrics.add("plan.revisions");
     buildPlan(ctx);
     return true;
 }

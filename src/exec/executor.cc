@@ -23,9 +23,12 @@ Executor::Executor(const Graph &graph, ExecConfig config,
     if (config_.eagerMode && policy_ && !policy_->graphAgnostic())
         fatal("policy '{}' requires a computation graph and cannot run in "
               "eager mode", policy_->name());
-    compute_.setLogging(config_.recordTimeline);
-    pcie_.lane(CopyDir::DeviceToHost).setLogging(config_.recordTimeline);
-    pcie_.lane(CopyDir::HostToDevice).setLogging(config_.recordTimeline);
+    obs_.configure(config_.obsLevel, config_.obsRingCapacity);
+    compute_.attachTracer(&obs_.tracer, obs::kTrackCompute);
+    pcie_.attachTracer(&obs_.tracer);
+    mem_.attachTracer(&obs_.tracer);
+    obs_.tracer.setTrackName(obs::kTrackHost, "host");
+    obs_.tracer.setTrackName(obs::kTrackPolicy, "policy");
 }
 
 TensorState &
@@ -142,10 +145,12 @@ Executor::abortIteration()
             st.gpuHandle.reset();
         }
         if (st.hasHostCopy) {
+            noteRetired(id);
             mem_.host().deallocate(st.hostHandle);
             st.hasHostCopy = false;
             st.hostHandle = 0;
         }
+        closePhase(id, clock_);
         st.status = TensorStatus::Out;
         st.produced = false;
         st.pinCount = 0;
@@ -154,6 +159,9 @@ Executor::abortIteration()
     computeBarrier_ = 0;
     currentOp_ = kInvalidOp;
     mem_.gpu().checkInvariants();
+    obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker, clock_,
+                        "iter.abort:" + std::to_string(iteration_));
+    obs_.metrics.add("iter.aborts");
 }
 
 IterationStats
@@ -177,6 +185,8 @@ Executor::beginIterationState()
     mem_.gpu().resetPeak();
     for (auto &st : states_)
         st.accessCount = 0;
+    obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker,
+                        stats_.begin, "iter:" + std::to_string(iteration_));
     if (policy_)
         policy_->beginIteration(*this);
 }
@@ -199,10 +209,12 @@ Executor::finishIterationState()
             st.gpuHandle.reset();
         }
         if (st.hasHostCopy) {
+            noteRetired(id);
             mem_.host().deallocate(st.hostHandle);
             st.hasHostCopy = false;
             st.hostHandle = 0;
         }
+        closePhase(id, clock_);
         st.status = TensorStatus::Out;
         st.produced = false;
     }
@@ -210,6 +222,11 @@ Executor::finishIterationState()
     stats_.peakGpuBytes = mem_.gpu().stats().peakBytesInUse;
     if (policy_)
         policy_->endIteration(*this, stats_);
+    feedIterationMetrics();
+    obs_.metrics.snapshotIteration(iteration_);
+    obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Marker,
+                         stats_.begin, stats_.duration(),
+                         "iteration:" + std::to_string(iteration_));
     ++iteration_;
 }
 
@@ -221,13 +238,25 @@ Executor::allocateOrDie(Tick &at, std::uint64_t bytes,
         Tick t0 = at;
         if (auto h = mem_.allocateWaiting(at, bytes)) {
             stats_.allocStall += at - t0;
+            if (at > t0) {
+                obs_.tracer.complete(obs::kTrackHost, obs::EventKind::OomStep,
+                                     t0, at - t0, "oom.wait-free", -1, -1,
+                                     bytes);
+            }
             clock_ = std::max(clock_, at);
             return *h;
         }
         at = std::max(at, t0);
         clock_ = std::max(clock_, at);
-        if (policy_ && policy_->onAllocFailure(*this, bytes))
+        if (policy_ && policy_->onAllocFailure(*this, bytes)) {
+            obs_.tracer.instant(obs::kTrackHost, obs::EventKind::OomStep, at,
+                                "oom.policy-assist", -1, -1, bytes);
+            obs_.metrics.add("oom.policy_assists");
             continue;
+        }
+        obs_.tracer.instant(obs::kTrackHost, obs::EventKind::OomStep, at,
+                            "oom.raise", -1, -1, bytes);
+        obs_.metrics.add("oom.raises");
         throw OomError(
             fmt("OOM allocating {} for {} (in use {}, largest free {})",
                 formatBytes(bytes), what,
@@ -243,6 +272,14 @@ Executor::ensureResident(TensorId id, Tick at)
     TensorState &st = state(id);
     switch (effectiveStatus(st, at)) {
       case TensorStatus::In:
+        if (st.status == TensorStatus::SwappingIn) {
+            // Prefetch completed before this access arrived: the transfer
+            // fully hid. Normalize (the SwappingIn case does the same when
+            // the stall is zero) and close the SWAPPING_IN phase.
+            st.status = TensorStatus::In;
+            notePhase(id, "IN", st.swapInReady);
+        }
+        return at;
       case TensorStatus::SwappingOut:
         // SwappingOut: chunk is freed only at transfer completion, so the
         // data is still readable on-device until then.
@@ -252,10 +289,16 @@ Executor::ensureResident(TensorId id, Tick at)
           Tick stall = st.swapInReady > at ? st.swapInReady - at : 0;
           if (stall > 0) {
               stats_.inputStall += stall;
+              stats_.prefetchStall += stall;
+              obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Stall,
+                                   at, stall,
+                                   "stall:" + graph_.tensor(id).name,
+                                   static_cast<std::int64_t>(id));
               if (policy_)
                   policy_->onBackAccessStall(*this, id, stall);
           }
           st.status = TensorStatus::In;
+          notePhase(id, "IN", std::max(at, st.swapInReady));
           return std::max(at, st.swapInReady);
       }
 
@@ -270,14 +313,23 @@ Executor::ensureResident(TensorId id, Tick at)
                                       graph_.tensor(id).name);
           Tick done = pcie_.transfer(CopyDir::HostToDevice,
                                      wireBytes(allocBytes(id)), at,
-                                     "swapin:" + graph_.tensor(id).name);
+                                     "swapin:" + graph_.tensor(id).name,
+                                     static_cast<std::int64_t>(id));
           st.gpuHandle = h;
           st.status = TensorStatus::In;
           st.swapInReady = done;
           ++stats_.swapInCount;
           stats_.swapInBytes += allocBytes(id);
+          noteIn(id);
+          obs_.metrics.add("swap.ondemand_count");
+          notePhase(id, "SWAPPING_IN",
+                    pcie_.lastStart(CopyDir::HostToDevice));
+          notePhase(id, "IN", done);
           Tick stall = done - t0;
           stats_.inputStall += stall;
+          obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Stall, t0,
+                               stall, "stall:" + graph_.tensor(id).name,
+                               static_cast<std::int64_t>(id));
           if (policy_)
               policy_->onBackAccessStall(*this, id, stall);
           return done;
@@ -327,6 +379,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
 
     if (plan.empty())
         panic("recompute plan for {} is empty", graph_.tensor(target).name);
+    obs_.metrics.observe("recompute.chain_ops", plan.size());
 
     // Tensors kept alive only as replay intermediates (no scheduled uses
     // left) and tensors with future uses retained by collective
@@ -351,6 +404,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
                     st.gpuHandle.reset();
                     st.status = st.hasHostCopy ? TensorStatus::Out
                                                : TensorStatus::Recompute;
+                    notePhase(*it, st.hasHostCopy ? "OUT" : "DROPPED", when);
                     any = true;
                 }
                 it = pool.erase(it);
@@ -408,10 +462,14 @@ Executor::recomputeTensor(TensorId target, Tick at)
             }
             ost.gpuHandle = *h;
             ost.status = TensorStatus::In;
+            notePhase(out, "IN", at);
         }
 
         Tick dur = cost_.opDuration(op, fast);
-        Tick end = compute_.enqueue(at, dur, "recompute:" + op.name);
+        Tick end = compute_.enqueue(at, dur, "recompute:" + op.name,
+                                    obs::EventKind::Recompute,
+                                    static_cast<std::int64_t>(target),
+                                    static_cast<std::int64_t>(plan[p]));
         at = end;
         stats_.recomputeBusy += dur;
         ++stats_.recomputeOps;
@@ -442,6 +500,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
                 ost.gpuHandle.reset();
                 ost.status = ost.hasHostCopy ? TensorStatus::Out
                                              : TensorStatus::Recompute;
+                notePhase(out, ost.hasHostCopy ? "OUT" : "DROPPED", end);
             } else {
                 scratch.push_back(out);
             }
@@ -473,6 +532,7 @@ Executor::produceFingerprint(TensorId id, const Operation &op)
 void
 Executor::verifyFingerprint(TensorId id, const Operation &op)
 {
+    obs_.metrics.add("fingerprint.checks");
     const TensorState &st = state(id);
     if (st.fingerprint != st.expectedFp) {
         panic("fingerprint mismatch on {} consumed by {}: data {} expected "
@@ -551,6 +611,8 @@ Executor::runOp(OpId id)
             ost.remainingUses = usesPerIteration_[out0];
             aliased = true;
             ++stats_.inplaceForwards;
+            closePhase(in0, t);
+            notePhase(out0, "IN", t);
         }
     }
     for (std::size_t oi = 0; oi < op.outputs.size(); ++oi) {
@@ -570,11 +632,13 @@ Executor::runOp(OpId id)
         st.status = TensorStatus::In;
         st.produced = true;
         st.remainingUses = usesPerIteration_[out];
+        notePhase(out, "IN", t);
     }
 
     // (4) Kernel.
     Tick dur = cost_.opDuration(op, fast);
-    Tick end = compute_.enqueue(t, dur, op.name);
+    Tick end = compute_.enqueue(t, dur, op.name, obs::EventKind::Kernel, -1,
+                                static_cast<std::int64_t>(id));
     Tick start = end - dur;
     currentOpEnd_ = end;
     stats_.kernelBusy += dur;
@@ -635,6 +699,18 @@ Executor::recordAccess(TensorId id, Tick when, bool is_output, OpId op)
 {
     TensorState &st = state(id);
     ++st.accessCount;
+    if (obs_.tracing()) {
+        obs::TraceEvent tev;
+        tev.ts = when;
+        tev.track = obs::kTrackHost;
+        tev.phase = obs::EventPhase::Instant;
+        tev.kind = obs::EventKind::Access;
+        tev.tensor = static_cast<std::int64_t>(id);
+        tev.op = static_cast<std::int64_t>(op);
+        tev.value = st.accessCount;
+        tev.name = is_output ? "write" : "read";
+        obs_.tracer.record(std::move(tev));
+    }
     if (!policy_)
         return;
     AccessEvent ev;
@@ -660,12 +736,126 @@ Executor::releaseIfDead(TensorId id, Tick at)
         st.gpuHandle.reset();
     }
     if (st.hasHostCopy) {
+        noteRetired(id);
         mem_.host().deallocate(st.hostHandle);
         st.hasHostCopy = false;
         st.hostHandle = 0;
     }
+    closePhase(id, at);
     st.status = TensorStatus::Out;
     st.produced = false;
+}
+
+// --- observability helpers (pure observers: never touch simulated time) ---
+
+void
+Executor::notePhase(TensorId id, const char *phase, Tick at)
+{
+    if (!obs_.tracing())
+        return;
+    TensorState &st = state(id);
+    // A phase can begin in the future (a transfer's completion time); the
+    // successor must not open before it closed, or the async spans overlap.
+    if (st.obsPhase)
+        at = std::max(at, st.obsPhaseAt);
+    closePhase(id, at);
+    st.obsPhase = phase;
+    st.obsPhaseAt = at;
+    obs_.tracer.spanBegin(obs::EventKind::Lifetime,
+                          static_cast<std::int64_t>(id), at,
+                          graph_.tensor(id).name + ":" + phase);
+}
+
+void
+Executor::closePhase(TensorId id, Tick at)
+{
+    if (!obs_.tracing())
+        return;
+    TensorState &st = state(id);
+    if (!st.obsPhase)
+        return;
+    obs_.tracer.spanEnd(obs::EventKind::Lifetime,
+                        static_cast<std::int64_t>(id),
+                        std::max(at, st.obsPhaseAt),
+                        graph_.tensor(id).name + ":" + st.obsPhase);
+    st.obsPhase = nullptr;
+}
+
+void
+Executor::noteOut(TensorId id)
+{
+    TensorState &st = state(id);
+    if (st.outWithHost)
+        return;
+    st.outWithHost = true;
+    obs_.metrics.add("tensor.out_bytes", allocBytes(id));
+}
+
+void
+Executor::noteIn(TensorId id)
+{
+    TensorState &st = state(id);
+    if (!st.outWithHost)
+        return;
+    st.outWithHost = false;
+    obs_.metrics.add("tensor.in_bytes", allocBytes(id));
+}
+
+void
+Executor::noteRetired(TensorId id)
+{
+    TensorState &st = state(id);
+    if (!st.outWithHost)
+        return;
+    st.outWithHost = false;
+    obs_.metrics.add("tensor.retired_host_bytes", allocBytes(id));
+}
+
+void
+Executor::feedIterationMetrics()
+{
+    if (!obs_.metricsOn())
+        return;
+    auto &m = obs_.metrics;
+    auto u64 = [](auto v) { return static_cast<std::uint64_t>(v); };
+    m.add("swap.out.bytes", stats_.swapOutBytes);
+    m.add("swap.in.bytes", stats_.swapInBytes);
+    m.add("swap.out.count", u64(stats_.swapOutCount));
+    m.add("swap.in.count", u64(stats_.swapInCount));
+    m.add("stall.input_ns", stats_.inputStall);
+    m.add("stall.alloc_ns", stats_.allocStall);
+    m.add("compute.kernel_ns", stats_.kernelBusy);
+    m.add("compute.recompute_ns", stats_.recomputeBusy);
+    m.add("recompute.tensors", u64(stats_.recomputedTensors));
+    m.add("recompute.ops", u64(stats_.recomputeOps));
+    m.add("drop.tensors", u64(stats_.droppedTensors));
+    m.add("drop.bytes", stats_.droppedBytes);
+    m.add("inplace.forwards", u64(stats_.inplaceForwards));
+    m.add("kernel.fallbacks", u64(stats_.fallbackKernels));
+    m.add("oom.evictions", u64(stats_.oomEvictions));
+    m.add("prefetch.busy_ns", stats_.prefetchBusy);
+    m.add("prefetch.stall_ns", stats_.prefetchStall);
+
+    const BfcStats &bfc = mem_.gpu().stats();
+    m.setCounter("bfc.splits", bfc.splitCount);
+    m.setCounter("bfc.merges", bfc.mergeCount);
+    m.setCounter("bfc.failed_allocs", bfc.failedAllocs);
+    std::uint64_t free_bytes = mem_.gpu().bytesFree();
+    m.set("bfc.fragmentation",
+          free_bytes == 0
+              ? 0.0
+              : 1.0 - static_cast<double>(bfc.largestFreeChunk) /
+                          static_cast<double>(free_bytes));
+    m.set("gpu.peak_bytes", static_cast<double>(stats_.peakGpuBytes));
+
+    double hidden = 1.0;
+    if (stats_.prefetchBusy > 0) {
+        hidden = 1.0 - static_cast<double>(stats_.prefetchStall) /
+                           static_cast<double>(stats_.prefetchBusy);
+        hidden = std::min(1.0, std::max(0.0, hidden));
+    }
+    m.set("prefetch.hidden_ratio", hidden);
+    m.set("iter.duration_ns", static_cast<double>(stats_.duration()));
 }
 
 // --- ExecContext queries ---
@@ -888,7 +1078,8 @@ Executor::evictSwapAsync(TensorId id)
                                                            : clock_);
     Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
                                ready,
-                               "swapout:" + graph_.tensor(id).name);
+                               "swapout:" + graph_.tensor(id).name,
+                               static_cast<std::int64_t>(id));
     if (!st.hasHostCopy) {
         st.hostHandle = mem_.host().allocate(wireBytes(bytes));
         if (st.hostHandle == 0) {
@@ -904,6 +1095,9 @@ Executor::evictSwapAsync(TensorId id)
     st.swapOutDone = done;
     ++stats_.swapOutCount;
     stats_.swapOutBytes += bytes;
+    noteOut(id);
+    notePhase(id, "SWAPPING_OUT", pcie_.lastStart(CopyDir::DeviceToHost));
+    notePhase(id, "OUT", done);
 }
 
 Tick
@@ -911,8 +1105,13 @@ Executor::evictSwapBlocking(TensorId id)
 {
     evictSwapAsync(id);
     const TensorState &st = state(id);
-    if (st.status == TensorStatus::SwappingOut)
+    if (st.status == TensorStatus::SwappingOut) {
         computeBarrier_ = std::max(computeBarrier_, st.swapOutDone);
+        obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Sync, clock_,
+                            "sync.blocking-swap:" + graph_.tensor(id).name,
+                            static_cast<std::int64_t>(id));
+        obs_.metrics.add("swap.blocking_count");
+    }
     return computeBarrier_;
 }
 
@@ -930,7 +1129,8 @@ Executor::evictSwapSync(TensorId id)
     std::uint64_t bytes = allocBytes(id);
     Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
                                clock_,
-                               "oom-swapout:" + graph_.tensor(id).name);
+                               "oom-swapout:" + graph_.tensor(id).name,
+                               static_cast<std::int64_t>(id));
     if (!st.hasHostCopy) {
         st.hostHandle = mem_.host().allocate(wireBytes(bytes));
         if (st.hostHandle == 0) {
@@ -947,6 +1147,9 @@ Executor::evictSwapSync(TensorId id)
     ++stats_.swapOutCount;
     ++stats_.oomEvictions;
     stats_.swapOutBytes += bytes;
+    noteOut(id);
+    notePhase(id, "SWAPPING_OUT", pcie_.lastStart(CopyDir::DeviceToHost));
+    notePhase(id, "OUT", done);
     return true;
 }
 
@@ -976,6 +1179,9 @@ Executor::evictDrop(TensorId id)
     st.status = st.hasHostCopy ? TensorStatus::Out : TensorStatus::Recompute;
     ++stats_.droppedTensors;
     stats_.droppedBytes += allocBytes(id);
+    if (st.hasHostCopy)
+        noteOut(id);
+    notePhase(id, st.hasHostCopy ? "OUT" : "DROPPED", when);
 }
 
 void
@@ -999,12 +1205,17 @@ Executor::prefetchAsync(TensorId id)
         return; // peak-memory window: degrade to on-demand at back-access
     Tick done = pcie_.transfer(CopyDir::HostToDevice, wireBytes(bytes),
                                ready,
-                               "prefetch:" + graph_.tensor(id).name);
+                               "prefetch:" + graph_.tensor(id).name,
+                               static_cast<std::int64_t>(id));
     st.gpuHandle = *h;
     st.status = TensorStatus::SwappingIn;
     st.swapInReady = done;
     ++stats_.swapInCount;
     stats_.swapInBytes += bytes;
+    stats_.prefetchBusy += done - pcie_.lastStart(CopyDir::HostToDevice);
+    noteIn(id);
+    obs_.metrics.add("prefetch.count");
+    notePhase(id, "SWAPPING_IN", pcie_.lastStart(CopyDir::HostToDevice));
 }
 
 } // namespace capu

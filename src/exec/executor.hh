@@ -6,7 +6,7 @@
  * stream; D2H/H2D copies run on their own PCIe lanes. Because the compute
  * stream is FIFO, the host loop can advance a master clock op-by-op while
  * remaining *exact*: every overlap, synchronization stall and PCIe
- * serialization shows up in the stream interval logs at true ticks.
+ * serialization shows up in the emitted trace events at true ticks.
  *
  * Per op the executor: (1) makes inputs resident (waiting on swap-ins,
  * running on-demand swap-ins, or replaying lineage for recomputation);
@@ -37,6 +37,7 @@
 #include "exec/memory_manager.hh"
 #include "exec/memory_policy.hh"
 #include "graph/graph.hh"
+#include "obs/obs.hh"
 #include "sim/gpu_device.hh"
 #include "sim/pcie_link.hh"
 #include "sim/stream.hh"
@@ -81,8 +82,11 @@ struct ExecConfig
     /** Verify lineage fingerprints on every consumption. */
     bool checkFingerprints = true;
 
-    /** Keep per-interval stream logs (needed by timeline benches). */
-    bool recordTimeline = false;
+    /** Observability: off, metrics-only, or metrics + event tracing. */
+    obs::ObsLevel obsLevel = obs::ObsLevel::Off;
+
+    /** Event ring capacity when tracing (oldest events drop on wrap). */
+    std::size_t obsRingCapacity = obs::Tracer::kDefaultCapacity;
 
     /** Pinned host staging capacity (the testbed had 256 GB). */
     std::uint64_t hostPoolBytes = 256ull << 30;
@@ -130,6 +134,11 @@ struct IterationStats
     /** Passive-mode on-demand evictions (OOM handler). */
     int oomEvictions = 0;
 
+    /** PCIe occupancy of prefetch (policy-triggered) swap-ins. */
+    Tick prefetchBusy = 0;
+    /** Portion of prefetch transfers the back access had to wait out. */
+    Tick prefetchStall = 0;
+
     std::uint64_t peakGpuBytes = 0;
 
     Tick duration() const { return end - begin; }
@@ -159,6 +168,12 @@ struct TensorState
     std::uint64_t fingerprint = 0;
     std::uint64_t expectedFp = 0;
     int weightVersion = 0;
+
+    /** Open residency-phase span ("IN", "OUT", ...); tracing only. */
+    const char *obsPhase = nullptr;
+    Tick obsPhaseAt = 0;
+    /** Counted in tensor.out_bytes, awaiting swap-in or host-copy death. */
+    bool outWithHost = false;
 };
 
 class Executor : public ExecContext
@@ -202,6 +217,8 @@ class Executor : public ExecContext
     Tick swapTime(std::uint64_t bytes) const override;
     Tick memStallSoFar() const override;
     const CostModel &costModel() const override { return cost_; }
+    Tick now() const override { return clock_; }
+    obs::Obs &obs() override { return obs_; }
 
     // --- ExecContext actions ---
     void evictSwapAsync(TensorId id) override;
@@ -214,7 +231,6 @@ class Executor : public ExecContext
     Stream &computeStream() { return compute_; }
     PcieLink &pcie() { return pcie_; }
     MemoryManager &memory() { return mem_; }
-    Tick now() const { return clock_; }
     const TensorState &tensorState(TensorId id) const;
     const ExecConfig &config() const { return config_; }
 
@@ -226,6 +242,7 @@ class Executor : public ExecContext
     ExecConfig config_;
     MemoryPolicy *policy_;
     CostModel cost_;
+    obs::Obs obs_;
     MemoryManager mem_;
     Stream compute_;
     PcieLink pcie_;
@@ -267,6 +284,16 @@ class Executor : public ExecContext
     void runOp(OpId id);
     void recordAccess(TensorId id, Tick when, bool is_output, OpId op);
     void releaseIfDead(TensorId id, Tick at);
+
+    // --- observability (pure observers: never touch simulated time) ---
+    /** Open residency phase `phase` for `id` at `at` (closes the prior). */
+    void notePhase(TensorId id, const char *phase, Tick at);
+    void closePhase(TensorId id, Tick at);
+    /** Transition-level swap accounting (tensor.out/in/retired bytes). */
+    void noteOut(TensorId id);
+    void noteIn(TensorId id);
+    void noteRetired(TensorId id);
+    void feedIterationMetrics();
     void produceFingerprint(TensorId id, const Operation &op);
     void verifyFingerprint(TensorId id, const Operation &op);
     void setupWeights();

@@ -19,7 +19,10 @@ MemoryManager::allocate(Tick now, std::uint64_t bytes,
                         BfcAllocator::Placement placement)
 {
     deferred_.applyUpTo(now, gpu_);
-    return gpu_.allocate(bytes, placement);
+    auto h = gpu_.allocate(bytes, placement);
+    if (h)
+        sampleUsage(now);
+    return h;
 }
 
 std::optional<MemHandle>
@@ -41,6 +44,7 @@ MemoryManager::freeNow(Tick now, MemHandle handle)
 {
     deferred_.applyUpTo(now, gpu_);
     gpu_.deallocate(handle);
+    sampleUsage(now);
 }
 
 void
@@ -72,6 +76,23 @@ void
 MemoryManager::drainAll()
 {
     deferred_.applyUpTo(std::numeric_limits<Tick>::max(), gpu_);
+}
+
+void
+MemoryManager::attachTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_)
+        tracer_->setTrackName(obs::kTrackMemory, "memory");
+}
+
+void
+MemoryManager::sampleUsage(Tick now)
+{
+    if (tracer_) {
+        tracer_->counter(obs::kTrackMemory, now, "gpu.bytes_in_use",
+                         static_cast<double>(gpu_.bytesInUse()));
+    }
 }
 
 } // namespace capu

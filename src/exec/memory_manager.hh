@@ -20,6 +20,7 @@
 #include "memory/bfc_allocator.hh"
 #include "memory/deferred_free.hh"
 #include "memory/host_pool.hh"
+#include "obs/tracer.hh"
 #include "support/units.hh"
 
 namespace capu
@@ -65,10 +66,19 @@ class MemoryManager
     /** Drain every pending free (end of simulation). */
     void drainAll();
 
+    /**
+     * Emit gpu.bytes_in_use counter samples on the memory track after each
+     * allocation/immediate free. nullptr detaches.
+     */
+    void attachTracer(obs::Tracer *tracer);
+
   private:
+    void sampleUsage(Tick now);
+
     BfcAllocator gpu_;
     HostPinnedPool host_;
     DeferredFreeQueue deferred_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace capu

@@ -25,6 +25,7 @@
 
 #include "exec/cost_model.hh"
 #include "graph/graph.hh"
+#include "obs/obs.hh"
 #include "support/units.hh"
 
 namespace capu
@@ -115,6 +116,16 @@ class ExecContext
     /** Cumulative memory-management stall so far this iteration. */
     virtual Tick memStallSoFar() const = 0;
     virtual const CostModel &costModel() const = 0;
+
+    /** Current host-loop master clock (for timestamping trace events). */
+    virtual Tick now() const { return 0; }
+
+    /**
+     * Observability sink for policy decisions. Defaults to a shared inert
+     * instance, so policies instrument unconditionally and pay one branch
+     * when observability is off.
+     */
+    virtual obs::Obs &obs() { return obs::Obs::disabled(); }
 
     // --- actions ---
 

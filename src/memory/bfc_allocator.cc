@@ -98,6 +98,7 @@ BfcAllocator::allocate(std::uint64_t bytes, Placement placement)
     std::uint64_t occupied = chunk.size;
     if (chunk.size - need >= kAlignment) {
         occupied = need;
+        ++stats_.splitCount;
         if (large) {
             // Carve from the top: the low remainder stays free.
             Chunk rest{chunk.offset, chunk.size - need, true};
@@ -140,6 +141,7 @@ BfcAllocator::deallocate(MemHandle handle)
         eraseFree(next->second);
         chunk.size += next->second.size;
         chunks_.erase(next);
+        ++stats_.mergeCount;
     }
     // Coalesce with previous neighbour.
     if (it != chunks_.begin()) {
@@ -149,6 +151,7 @@ BfcAllocator::deallocate(MemHandle handle)
             prev->second.size += chunk.size;
             chunks_.erase(it);
             insertFree(prev->second);
+            ++stats_.mergeCount;
             return;
         }
     }

@@ -39,6 +39,10 @@ struct BfcStats
     std::uint64_t failedAllocs = 0;
     std::uint64_t largestFreeChunk = 0;
     std::uint64_t freeChunkCount = 0;
+    /** Chunk splits performed by allocate() (fragmentation pressure). */
+    std::uint64_t splitCount = 0;
+    /** Neighbour coalesces performed by deallocate(). */
+    std::uint64_t mergeCount = 0;
 };
 
 /** Anti-fragmentation features (defaults on; ablation bench toggles). */

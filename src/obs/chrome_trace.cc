@@ -1,0 +1,243 @@
+#include "obs/chrome_trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/logging.hh"
+
+namespace capu::obs
+{
+
+namespace
+{
+
+/** Simulation ns -> trace µs, keeping full ns precision as fractions. */
+std::string
+micros(Tick ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                  static_cast<unsigned>(ns % 1000));
+    return buf;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+writeCommonArgs(std::ostream &os, const TraceEvent &ev, bool &first)
+{
+    auto field = [&](const char *key, const std::string &val) {
+        os << (first ? "" : ",") << '"' << key << "\":" << val;
+        first = false;
+    };
+    if (ev.tensor >= 0)
+        field("tensor", std::to_string(ev.tensor));
+    if (ev.op >= 0)
+        field("op", std::to_string(ev.op));
+    if (ev.bytes != 0)
+        field("bytes", std::to_string(ev.bytes));
+}
+
+void
+writeEvent(std::ostream &os, const TraceEvent &ev)
+{
+    os << "{\"name\":\"" << jsonEscape(ev.name) << "\",\"cat\":\""
+       << eventKindName(ev.kind) << "\",\"pid\":0,\"tid\":" << ev.track
+       << ",\"ts\":" << micros(ev.ts);
+    switch (ev.phase) {
+      case EventPhase::Complete: {
+        os << ",\"ph\":\"X\",\"dur\":" << micros(ev.dur);
+        os << ",\"args\":{";
+        bool first = true;
+        writeCommonArgs(os, ev, first);
+        os << "}";
+        break;
+      }
+      case EventPhase::Instant: {
+        os << ",\"ph\":\"i\",\"s\":\"t\"";
+        os << ",\"args\":{";
+        bool first = true;
+        writeCommonArgs(os, ev, first);
+        os << "}";
+        break;
+      }
+      case EventPhase::Counter:
+        os << ",\"ph\":\"C\",\"args\":{\"value\":" << jsonDouble(ev.value)
+           << "}";
+        break;
+      case EventPhase::SpanBegin:
+      case EventPhase::SpanEnd:
+        os << ",\"ph\":\""
+           << (ev.phase == EventPhase::SpanBegin ? 'b' : 'e')
+           << "\",\"id\":" << ev.tensor << ",\"args\":{}";
+        break;
+    }
+    os << "}";
+}
+
+} // namespace
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"args\":{\"name\":\"capusim\"}}";
+    for (const auto &[track, name] : tracer.trackNames()) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+           << track << ",\"args\":{\"name\":\"" << jsonEscape(name)
+           << "\"}}";
+        sep();
+        os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":"
+           << track << ",\"args\":{\"sort_index\":" << track << "}}";
+    }
+
+    for (const auto &ev : tracer.chronological()) {
+        sep();
+        writeEvent(os, ev);
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+          "\"recorded\":"
+       << tracer.recorded() << ",\"dropped\":" << tracer.dropped() << "}}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path, const Tracer &tracer)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("obs: cannot open trace file '{}'", path);
+        return false;
+    }
+    writeChromeTrace(os, tracer);
+    return static_cast<bool>(os);
+}
+
+void
+writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics)
+{
+    auto columns = metrics.snapshotColumns();
+    os << "iteration";
+    for (const auto &name : columns)
+        os << ',' << name;
+    os << '\n';
+    for (const auto &snap : metrics.iterations()) {
+        os << snap.iteration;
+        for (const auto &name : columns) {
+            os << ',';
+            auto it = snap.values.find(name);
+            if (it != snap.values.end())
+                os << jsonDouble(it->second);
+            else
+                os << 0;
+        }
+        os << '\n';
+    }
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsRegistry &metrics)
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : metrics.counters()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : metrics.gauges()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << jsonDouble(value);
+        first = false;
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : metrics.histograms()) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << hist.count() << ", \"sum\": "
+           << hist.sum() << ", \"min\": " << hist.min() << ", \"max\": "
+           << hist.max() << ", \"mean\": " << jsonDouble(hist.mean())
+           << ", \"buckets\": [";
+        for (std::size_t i = 0; i < hist.usedBuckets(); ++i)
+            os << (i ? "," : "") << hist.bucket(i);
+        os << "]}";
+        first = false;
+    }
+    os << "\n  },\n  \"iterations\": [";
+    first = true;
+    for (const auto &snap : metrics.iterations()) {
+        os << (first ? "\n" : ",\n") << "    {\"iteration\": "
+           << snap.iteration;
+        for (const auto &[name, value] : snap.values)
+            os << ", \"" << jsonEscape(name) << "\": " << jsonDouble(value);
+        os << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
+bool
+writeMetricsFile(const std::string &path, const MetricsRegistry &metrics)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("obs: cannot open metrics file '{}'", path);
+        return false;
+    }
+    bool json = path.size() >= 5 && path.compare(path.size() - 5, 5,
+                                                 ".json") == 0;
+    if (json)
+        writeMetricsJson(os, metrics);
+    else
+        writeMetricsCsv(os, metrics);
+    return static_cast<bool>(os);
+}
+
+} // namespace capu::obs

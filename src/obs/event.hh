@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The event vocabulary of the observability layer (capuscope).
+ *
+ * A TraceEvent is one timestamped fact about the simulation: a stream
+ * occupancy interval, a PCIe transfer, a policy decision, a tensor
+ * residency-phase transition, or a counter sample. Events are deliberately
+ * flat PODs (plus one label string) so the tracer's ring buffer stays cheap
+ * and the exporters stay trivial; richer structure (per-track grouping,
+ * async-span pairing) is reconstructed at export time.
+ *
+ * Timestamps are simulation Ticks (integer nanoseconds). Recording an event
+ * never advances or perturbs simulated time: the tracer is a pure observer,
+ * and tests assert that `--obs-level=full` leaves every simulated timestamp
+ * bit-identical to `--obs-level=off`.
+ */
+
+#ifndef CAPU_OBS_EVENT_HH
+#define CAPU_OBS_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/units.hh"
+
+namespace capu::obs
+{
+
+/**
+ * Trace tracks (Chrome `tid`s under one `pid`). Compute and the two PCIe
+ * lanes mirror the simulator's execution resources; Host carries the host
+ * loop's stalls and OOM-protocol steps; Policy carries decision instants;
+ * Memory carries allocator counter samples.
+ */
+enum Track : std::uint32_t
+{
+    kTrackHost = 0,
+    kTrackCompute = 1,
+    kTrackD2H = 2,
+    kTrackH2D = 3,
+    kTrackPolicy = 4,
+    kTrackMemory = 5,
+};
+
+/** How the event maps onto the Chrome trace_event phase model. */
+enum class EventPhase : std::uint8_t
+{
+    Complete,  ///< interval with known start + duration ("X")
+    Instant,   ///< zero-duration mark ("i")
+    Counter,   ///< sampled value ("C")
+    SpanBegin, ///< async span open ("b"), paired by (kind, tensor id)
+    SpanEnd,   ///< async span close ("e")
+};
+
+/** Semantic category; becomes the Chrome `cat` field. */
+enum class EventKind : std::uint8_t
+{
+    Kernel,    ///< scheduled compute kernel
+    Recompute, ///< lineage-replay kernel
+    Transfer,  ///< PCIe copy (bytes = wire size)
+    Sync,      ///< cross-stream synchronization (blocking swap barrier)
+    Stall,     ///< host loop waiting (input residency, allocation)
+    Access,    ///< tensor access event (value = access index)
+    OomStep,   ///< step of the OOM protocol (wait-free / policy / raise)
+    Decision,  ///< policy decision (evict, prefetch, feedback, passive)
+    Plan,      ///< plan lifecycle (build, refine, in-trigger placement)
+    Lifetime,  ///< tensor residency phase (async span, id = tensor)
+    Sample,    ///< counter sample (value carries the measurement)
+    Marker,    ///< structural marker (iteration boundaries, aborts)
+};
+
+const char *eventKindName(EventKind kind);
+
+struct TraceEvent
+{
+    Tick ts = 0;
+    Tick dur = 0; ///< Complete events only
+    std::uint32_t track = kTrackHost;
+    EventPhase phase = EventPhase::Instant;
+    EventKind kind = EventKind::Marker;
+    std::int64_t tensor = -1; ///< tensor id; async-span id for Lifetime
+    std::int64_t op = -1;     ///< op id when the event is op-related
+    std::uint64_t bytes = 0;  ///< payload size where meaningful
+    double value = 0.0;       ///< counter samples, access indices
+    std::string name;
+};
+
+} // namespace capu::obs
+
+#endif // CAPU_OBS_EVENT_HH

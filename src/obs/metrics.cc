@@ -1,0 +1,167 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace capu::obs
+{
+
+namespace
+{
+
+std::size_t
+bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<std::size_t>(64 - __builtin_clzll(value));
+}
+
+} // namespace
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    std::size_t i = std::min<std::size_t>(bucketIndex(value), kBuckets - 1);
+    ++buckets_[i];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    return i < kBuckets ? buckets_[i] : 0;
+}
+
+std::size_t
+Histogram::usedBuckets() const
+{
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] != 0)
+            last = i + 1;
+    }
+    return last;
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    lastSnapshot_.clear();
+    snapshots_.clear();
+}
+
+void
+MetricsRegistry::add(std::string_view name, std::uint64_t delta)
+{
+    if (!enabled_)
+        return;
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        counters_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+MetricsRegistry::setCounter(std::string_view name, std::uint64_t value)
+{
+    if (!enabled_)
+        return;
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        counters_.emplace(std::string(name), value);
+    else
+        it->second = value;
+}
+
+void
+MetricsRegistry::set(std::string_view name, double value)
+{
+    if (!enabled_)
+        return;
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        gauges_.emplace(std::string(name), value);
+    else
+        it->second = value;
+}
+
+void
+MetricsRegistry::observe(std::string_view name, std::uint64_t value)
+{
+    if (!enabled_)
+        return;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it->second.observe(value);
+}
+
+std::uint64_t
+MetricsRegistry::counter(std::string_view name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(std::string_view name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram *
+MetricsRegistry::histogram(std::string_view name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::snapshotIteration(int iteration)
+{
+    if (!enabled_)
+        return;
+    IterationSnapshot snap;
+    snap.iteration = iteration;
+    for (const auto &[name, value] : counters_) {
+        std::uint64_t prev = 0;
+        auto it = lastSnapshot_.find(name);
+        if (it != lastSnapshot_.end())
+            prev = it->second;
+        snap.values[name] = static_cast<double>(value - prev);
+    }
+    for (const auto &[name, value] : gauges_)
+        snap.values[name] = value;
+    lastSnapshot_ = counters_;
+    snapshots_.push_back(std::move(snap));
+}
+
+std::vector<std::string>
+MetricsRegistry::snapshotColumns() const
+{
+    std::set<std::string> names;
+    for (const auto &snap : snapshots_) {
+        for (const auto &[name, value] : snap.values)
+            names.insert(name);
+    }
+    return {names.begin(), names.end()};
+}
+
+} // namespace capu::obs

@@ -107,8 +107,13 @@ CheckpointingPolicy::afterOp(ExecContext &ctx, OpId op, Tick op_end)
     auto it = dropAfter_.find(op);
     if (it == dropAfter_.end())
         return;
-    for (TensorId t : it->second)
+    for (TensorId t : it->second) {
+        ctx.obs().tracer.instant(obs::kTrackPolicy,
+                                 obs::EventKind::Decision, ctx.now(),
+                                 "ckpt.drop", static_cast<std::int64_t>(t));
+        ctx.obs().metrics.add("ckpt.drops");
         ctx.evictDrop(t);
+    }
 }
 
 bool

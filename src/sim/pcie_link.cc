@@ -22,9 +22,17 @@ PcieLink::transferTime(std::uint64_t bytes) const
 
 Tick
 PcieLink::transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
-                   std::string label)
+                   std::string label, std::int64_t tensor)
 {
-    return lane(dir).enqueue(ready, transferTime(bytes), std::move(label));
+    return lane(dir).enqueue(ready, transferTime(bytes), std::move(label),
+                             obs::EventKind::Transfer, tensor, -1, bytes);
+}
+
+void
+PcieLink::attachTracer(obs::Tracer *tracer)
+{
+    d2h_.attachTracer(tracer, obs::kTrackD2H);
+    h2d_.attachTracer(tracer, obs::kTrackH2D);
 }
 
 Tick

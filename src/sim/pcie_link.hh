@@ -5,8 +5,9 @@
  * Pinned-memory cudaMemcpyAsync transfers in the same direction serialize
  * (the paper: "a swap cannot start until its preceding swap finishes"), while
  * D2H and H2D proceed concurrently with each other and with compute. Each
- * direction is a Stream, so the interval log doubles as the memory-stream
- * rows of Figure-1-style timelines.
+ * direction is a Stream; with a tracer attached, transfers appear as
+ * Complete events on the D2H/H2D trace tracks — the memory-stream rows of
+ * Figure-1-style timelines.
  */
 
 #ifndef CAPU_SIM_PCIE_LINK_HH
@@ -42,9 +43,13 @@ class PcieLink
     /**
      * Enqueue a transfer; returns its completion tick.
      * @param ready Earliest start (data-production dependency).
+     * @param tensor Optional tensor id for the trace event.
      */
     Tick transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
-                  std::string label);
+                  std::string label, std::int64_t tensor = -1);
+
+    /** Route both lanes into `tracer` (D2H/H2D tracks); nullptr detaches. */
+    void attachTracer(obs::Tracer *tracer);
 
     /** Tick when the given direction's lane drains. */
     Tick laneBusyUntil(CopyDir dir) const;

@@ -6,30 +6,28 @@ namespace capu
 {
 
 Tick
-Stream::enqueue(Tick ready, Tick duration, std::string label)
+Stream::enqueue(Tick ready, Tick duration, std::string label,
+                obs::EventKind kind, std::int64_t tensor, std::int64_t op,
+                std::uint64_t bytes)
 {
     Tick start = std::max(ready, busyUntil_);
     Tick end = start + duration;
     lastStart_ = start;
     busyUntil_ = end;
-    if (logging_)
-        log_.push_back(StreamInterval{std::move(label), start, end});
+    busyTicks_ += duration;
+    if (tracer_)
+        tracer_->complete(track_, kind, start, duration, std::move(label),
+                          tensor, op, bytes);
     return end;
 }
 
-Tick
-Stream::busyTime() const
-{
-    Tick total = 0;
-    for (const auto &iv : log_)
-        total += iv.end - iv.start;
-    return total;
-}
-
 void
-Stream::clearLog()
+Stream::attachTracer(obs::Tracer *tracer, std::uint32_t track)
 {
-    log_.clear();
+    tracer_ = tracer;
+    track_ = track;
+    if (tracer_)
+        tracer_->setTrackName(track_, name_);
 }
 
 void
@@ -37,7 +35,7 @@ Stream::reset()
 {
     busyUntil_ = 0;
     lastStart_ = 0;
-    log_.clear();
+    busyTicks_ = 0;
 }
 
 } // namespace capu

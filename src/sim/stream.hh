@@ -8,28 +8,24 @@
  * item's completion tick, which callers use exactly like cudaEventRecord +
  * cudaStreamWaitEvent pairs.
  *
- * Every executed interval is kept in a log for timeline rendering
- * (Figure 1 / Figure 3 style traces) and utilization accounting.
+ * Streams no longer keep their own interval log: occupancy intervals are
+ * emitted as Complete events into an attached obs::Tracer (one trace track
+ * per stream), which is the single source for timeline rendering and
+ * utilization accounting. A running busy-tick counter survives for cheap
+ * utilization queries when tracing is off.
  */
 
 #ifndef CAPU_SIM_STREAM_HH
 #define CAPU_SIM_STREAM_HH
 
+#include <cstdint>
 #include <string>
-#include <vector>
 
+#include "obs/tracer.hh"
 #include "support/units.hh"
 
 namespace capu
 {
-
-/** One executed work item on a stream. */
-struct StreamInterval
-{
-    std::string label;
-    Tick start = 0;
-    Tick end = 0;
-};
 
 class Stream
 {
@@ -41,10 +37,21 @@ class Stream
      *
      * @param ready Earliest tick the item may start (its dependencies).
      * @param duration Occupancy of the stream.
-     * @param label Tag recorded in the interval log.
+     * @param label Tag recorded in the trace event.
+     * @param kind Trace category for the emitted Complete event.
+     * @param tensor,op,bytes Optional trace annotations.
      * @return Completion tick: max(ready, busyUntil()) + duration.
      */
-    Tick enqueue(Tick ready, Tick duration, std::string label);
+    Tick enqueue(Tick ready, Tick duration, std::string label,
+                 obs::EventKind kind = obs::EventKind::Kernel,
+                 std::int64_t tensor = -1, std::int64_t op = -1,
+                 std::uint64_t bytes = 0);
+
+    /**
+     * Route occupancy intervals into `tracer` on trace track `track`.
+     * Pass nullptr to detach. Attachment never changes timing.
+     */
+    void attachTracer(obs::Tracer *tracer, std::uint32_t track);
 
     /** Tick at which the last enqueued item completes. */
     Tick busyUntil() const { return busyUntil_; }
@@ -54,26 +61,19 @@ class Stream
 
     const std::string &name() const { return name_; }
 
-    const std::vector<StreamInterval> &intervals() const { return log_; }
-
-    /** Total busy time over the logged intervals. */
-    Tick busyTime() const;
-
-    /** Drop the interval log (e.g. at an iteration boundary). */
-    void clearLog();
+    /** Total occupancy since construction / the last reset(). */
+    Tick busyTime() const { return busyTicks_; }
 
     /** Reset the stream to idle at tick 0 (new simulation). */
     void reset();
-
-    /** Enable/disable interval logging (hot loops can turn it off). */
-    void setLogging(bool on) { logging_ = on; }
 
   private:
     std::string name_;
     Tick busyUntil_ = 0;
     Tick lastStart_ = 0;
-    bool logging_ = true;
-    std::vector<StreamInterval> log_;
+    Tick busyTicks_ = 0;
+    obs::Tracer *tracer_ = nullptr;
+    std::uint32_t track_ = obs::kTrackHost;
 };
 
 } // namespace capu

@@ -1,9 +1,11 @@
 /**
  * @file
- * ASCII timeline rendering of stream interval logs.
+ * ASCII timeline rendering over the capuscope event stream.
  *
- * Renders Figure-1-style two-row (compute / memory) execution traces so a
- * bench can *show* the synchronization behaviour it measures, e.g.:
+ * Consumes Complete events from an obs::Tracer (the single interval source
+ * since streams stopped keeping their own logs) and renders
+ * Figure-1-style multi-row execution traces so a bench can *show* the
+ * synchronization behaviour it measures, e.g.:
  *
  *   comp  |####----####.####|
  *   d2h   |..####........   |
@@ -12,31 +14,35 @@
 #ifndef CAPU_STATS_TIMELINE_HH
 #define CAPU_STATS_TIMELINE_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
 
-#include "sim/stream.hh"
+#include "obs/tracer.hh"
+#include "support/units.hh"
 
 namespace capu
 {
 
-struct TimelineRow
+/** One rendered row: a display label + the trace track it draws. */
+struct TimelineTrack
 {
     std::string label;
-    const std::vector<StreamInterval> *intervals;
+    std::uint32_t track = obs::kTrackCompute;
 };
 
 /**
- * Render rows over [begin, end) scaled to `width` character cells.
- * '#' marks busy cells, '.' idle cells inside the window.
+ * Render the tracks' Complete events over [begin, end) scaled to `width`
+ * character cells. '#' marks busy cells, '.' idle cells in the window.
  */
-void renderTimeline(std::ostream &os, const std::vector<TimelineRow> &rows,
-                    Tick begin, Tick end, std::size_t width = 100);
+void renderTimeline(std::ostream &os, const obs::Tracer &tracer,
+                    const std::vector<TimelineTrack> &tracks, Tick begin,
+                    Tick end, std::size_t width = 100);
 
-/** Fraction of [begin, end) the stream is busy. */
-double streamUtilization(const std::vector<StreamInterval> &intervals,
-                         Tick begin, Tick end);
+/** Fraction of [begin, end) the track's Complete events cover. */
+double trackUtilization(const obs::Tracer &tracer, std::uint32_t track,
+                        Tick begin, Tick end);
 
 } // namespace capu
 

@@ -299,24 +299,31 @@ TEST(Executor, AbortIterationResetsState)
     EXPECT_THROW(ex.runIteration(), OomError);
 }
 
-TEST(Executor, TimelineRecordsKernels)
+TEST(Executor, TraceRecordsKernels)
 {
     ChainGraph cg(4, 1_MiB);
     ExecConfig cfg = testConfig(64_MiB);
-    cfg.recordTimeline = true;
+    cfg.obsLevel = obs::ObsLevel::Full;
     Executor ex(cg.graph, cfg, nullptr);
     ex.setup();
     ex.runIteration();
-    EXPECT_EQ(ex.computeStream().intervals().size(), cg.graph.numOps());
+    std::size_t kernels = 0;
+    ex.obs().tracer.forEach([&](const obs::TraceEvent &ev) {
+        if (ev.track == obs::kTrackCompute &&
+            ev.kind == obs::EventKind::Kernel)
+            ++kernels;
+    });
+    EXPECT_EQ(kernels, cg.graph.numOps());
 }
 
-TEST(Executor, TimelineOffByDefault)
+TEST(Executor, TracingOffByDefault)
 {
     ChainGraph cg(4, 1_MiB);
     Executor ex(cg.graph, testConfig(64_MiB), nullptr);
     ex.setup();
     ex.runIteration();
-    EXPECT_TRUE(ex.computeStream().intervals().empty());
+    EXPECT_EQ(ex.obs().tracer.size(), 0u);
+    EXPECT_FALSE(ex.obs().metricsOn());
 }
 
 TEST(Executor, InplaceForwardingFiresInGraphMode)

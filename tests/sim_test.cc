@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/gpu_device.hh"
 #include "sim/pcie_link.hh"
@@ -130,25 +131,46 @@ TEST(Stream, RespectsReadyTime)
     EXPECT_EQ(s.lastStart(), 100u);
 }
 
-TEST(Stream, IntervalLog)
+TEST(Stream, EmitsTraceEvents)
 {
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
     Stream s("test");
+    s.attachTracer(&tracer, obs::kTrackCompute);
     s.enqueue(0, 10, "a");
     s.enqueue(20, 5, "b");
-    ASSERT_EQ(s.intervals().size(), 2u);
-    EXPECT_EQ(s.intervals()[0].label, "a");
-    EXPECT_EQ(s.intervals()[1].start, 20u);
-    EXPECT_EQ(s.intervals()[1].end, 25u);
+    std::vector<obs::TraceEvent> evs;
+    tracer.forEach([&](const obs::TraceEvent &ev) { evs.push_back(ev); });
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].name, "a");
+    EXPECT_EQ(evs[0].track, obs::kTrackCompute);
+    EXPECT_EQ(evs[1].ts, 20u);
+    EXPECT_EQ(evs[1].dur, 5u);
     EXPECT_EQ(s.busyTime(), 15u);
+    // attachTracer registers the stream's name for its track.
+    bool named = false;
+    for (const auto &[track, name] : tracer.trackNames())
+        if (track == obs::kTrackCompute && name == "test")
+            named = true;
+    EXPECT_TRUE(named);
 }
 
-TEST(Stream, LoggingToggle)
+TEST(Stream, NoTracerNoEvents)
 {
+    // Timing semantics identical whether or not a tracer is attached.
     Stream s("test");
-    s.setLogging(false);
     s.enqueue(0, 10, "a");
-    EXPECT_TRUE(s.intervals().empty());
-    // Timing semantics unaffected by logging.
+    EXPECT_EQ(s.busyUntil(), 10u);
+    EXPECT_EQ(s.busyTime(), 10u);
+}
+
+TEST(Stream, DisabledTracerRecordsNothing)
+{
+    obs::Tracer tracer; // disabled by default
+    Stream s("test");
+    s.attachTracer(&tracer, obs::kTrackCompute);
+    s.enqueue(0, 10, "a");
+    EXPECT_EQ(tracer.size(), 0u);
     EXPECT_EQ(s.busyUntil(), 10u);
 }
 
@@ -158,7 +180,7 @@ TEST(Stream, Reset)
     s.enqueue(0, 10, "a");
     s.reset();
     EXPECT_EQ(s.busyUntil(), 0u);
-    EXPECT_TRUE(s.intervals().empty());
+    EXPECT_EQ(s.busyTime(), 0u);
 }
 
 // --- PcieLink ---

@@ -10,6 +10,24 @@
 
 using namespace capu;
 
+namespace
+{
+
+/** Tracer preloaded with Complete events on one track. */
+obs::Tracer
+makeTracer(std::uint32_t track,
+           const std::vector<std::pair<Tick, Tick>> &intervals)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    for (const auto &[start, end] : intervals)
+        tracer.complete(track, obs::EventKind::Kernel, start, end - start,
+                        "iv");
+    return tracer;
+}
+
+} // namespace
+
 TEST(Table, AlignedOutput)
 {
     Table t({"name", "value"});
@@ -62,9 +80,9 @@ TEST(Table, CellFormatters)
 
 TEST(Timeline, RendersBusyCells)
 {
-    std::vector<StreamInterval> ivs = {{"a", 0, 50}, {"b", 75, 100}};
+    auto tracer = makeTracer(obs::kTrackCompute, {{0, 50}, {75, 100}});
     std::ostringstream os;
-    renderTimeline(os, {{"comp", &ivs}}, 0, 100, 20);
+    renderTimeline(os, tracer, {{"comp", obs::kTrackCompute}}, 0, 100, 20);
     std::string out = os.str();
     // First half busy, gap, then busy tail.
     EXPECT_NE(out.find("##########"), std::string::npos);
@@ -73,18 +91,32 @@ TEST(Timeline, RendersBusyCells)
 
 TEST(Timeline, WindowClipping)
 {
-    std::vector<StreamInterval> ivs = {{"a", 0, 1000}};
+    auto tracer = makeTracer(obs::kTrackCompute, {{0, 1000}});
     std::ostringstream os;
-    renderTimeline(os, {{"x", &ivs}}, 500, 600, 10);
+    renderTimeline(os, tracer, {{"x", obs::kTrackCompute}}, 500, 600, 10);
     // Entirely busy within the window.
     EXPECT_NE(os.str().find("##########"), std::string::npos);
 }
 
+TEST(Timeline, IgnoresOtherTracks)
+{
+    auto tracer = makeTracer(obs::kTrackD2H, {{0, 100}});
+    std::ostringstream os;
+    renderTimeline(os, tracer, {{"comp", obs::kTrackCompute}}, 0, 100, 10);
+    // No compute events: the row is entirely idle.
+    EXPECT_EQ(os.str().find('#'), std::string::npos);
+}
+
 TEST(Timeline, UtilizationMath)
 {
-    std::vector<StreamInterval> ivs = {{"a", 0, 25}, {"b", 50, 75}};
-    EXPECT_DOUBLE_EQ(streamUtilization(ivs, 0, 100), 0.5);
-    EXPECT_DOUBLE_EQ(streamUtilization(ivs, 0, 50), 0.5);
-    EXPECT_DOUBLE_EQ(streamUtilization(ivs, 80, 100), 0.0);
-    EXPECT_DOUBLE_EQ(streamUtilization(ivs, 100, 100), 0.0);
+    auto tracer = makeTracer(obs::kTrackCompute, {{0, 25}, {50, 75}});
+    EXPECT_DOUBLE_EQ(trackUtilization(tracer, obs::kTrackCompute, 0, 100),
+                     0.5);
+    EXPECT_DOUBLE_EQ(trackUtilization(tracer, obs::kTrackCompute, 0, 50),
+                     0.5);
+    EXPECT_DOUBLE_EQ(trackUtilization(tracer, obs::kTrackCompute, 80, 100),
+                     0.0);
+    EXPECT_DOUBLE_EQ(trackUtilization(tracer, obs::kTrackCompute, 100, 100),
+                     0.0);
+    EXPECT_DOUBLE_EQ(trackUtilization(tracer, obs::kTrackD2H, 0, 100), 0.0);
 }

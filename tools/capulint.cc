@@ -86,6 +86,7 @@ usage()
         "  --no-recompute       swap-only plan\n"
         "  --max-chain <n>      recompute chain budget (default 256)\n"
         "  --csv                machine-readable findings\n"
+        "  --quiet              suppress informational log output\n"
         "  --verbose            print the plan summary too\n";
 }
 
@@ -119,9 +120,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.maxChain = static_cast<std::size_t>(std::atoll(next()));
         else if (a == "--csv")
             opt.csv = true;
-        else if (a == "--verbose")
+        else if (a == "--quiet")
+            setLogEnabled(false);
+        else if (a == "--verbose") {
             opt.verbose = true;
-        else if (a == "--help" || a == "-h") {
+            setLogEnabled(true);
+        } else if (a == "--help" || a == "-h") {
             usage();
             return false;
         } else {

@@ -13,6 +13,7 @@
  *   capusim --list
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -23,6 +24,8 @@
 #include "core/trace_io.hh"
 #include "exec/session.hh"
 #include "models/zoo.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/obs.hh"
 #include "policy/checkpointing_policy.hh"
 #include "policy/noop_policy.hh"
 #include "policy/vdnn_policy.hh"
@@ -46,7 +49,12 @@ struct Options
     bool findMax = false;
     bool csv = false;
     bool list = false;
+    bool obsSelfcheck = false;
     std::string dumpTrace;
+    std::string traceJson;
+    std::string metricsFile;
+    obs::ObsLevel obsLevel = obs::ObsLevel::Off;
+    bool obsLevelSet = false;
 };
 
 const std::map<std::string, ModelKind> kModels = {
@@ -153,6 +161,17 @@ usage()
         "  --dump-trace <f>   run 1 iteration under Capuchin and write the\n"
         "                     measured tensor-access trace to <f>\n"
         "  --csv              machine-readable per-iteration output\n"
+        "  --obs-level <l>    observability level: off (default) | metrics\n"
+        "                     | full (metrics + event tracing)\n"
+        "  --trace-json <f>   write a Chrome trace_event JSON (open in\n"
+        "                     Perfetto / chrome://tracing); implies\n"
+        "                     --obs-level full\n"
+        "  --metrics <f>      write per-iteration metrics (.json => JSON,\n"
+        "                     else CSV); implies --obs-level metrics\n"
+        "  --obs-selfcheck    run the workload at every obs level and\n"
+        "                     report the observability overhead\n"
+        "  --quiet            suppress informational log output\n"
+        "  --verbose          force informational log output on\n"
         "  --list             print models and policies\n";
 }
 
@@ -186,6 +205,23 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.dumpTrace = next();
         else if (a == "--csv")
             opt.csv = true;
+        else if (a == "--obs-level") {
+            std::string level = next();
+            auto parsed = obs::obsLevelFromString(level);
+            if (!parsed)
+                fatal("unknown obs level '{}' (off, metrics, full)", level);
+            opt.obsLevel = *parsed;
+            opt.obsLevelSet = true;
+        } else if (a == "--trace-json")
+            opt.traceJson = next();
+        else if (a == "--metrics")
+            opt.metricsFile = next();
+        else if (a == "--obs-selfcheck")
+            opt.obsSelfcheck = true;
+        else if (a == "--quiet")
+            setLogEnabled(false);
+        else if (a == "--verbose")
+            setLogEnabled(true);
         else if (a == "--list")
             opt.list = true;
         else if (a == "--help" || a == "-h") {
@@ -215,9 +251,88 @@ main(int argc, char **argv)
             return 0;
         }
 
+        // Output files imply the obs level they need.
+        if (!opt.traceJson.empty() && opt.obsLevel != obs::ObsLevel::Full) {
+            if (opt.obsLevelSet)
+                warn("--trace-json requires --obs-level full; upgrading");
+            opt.obsLevel = obs::ObsLevel::Full;
+        }
+        if (!opt.metricsFile.empty() &&
+            opt.obsLevel == obs::ObsLevel::Off) {
+            if (opt.obsLevelSet)
+                warn("--metrics requires --obs-level metrics; upgrading");
+            opt.obsLevel = obs::ObsLevel::Metrics;
+        }
+
         ExecConfig cfg;
         cfg.device = deviceByName(opt.device);
         cfg.eagerMode = opt.eager;
+        cfg.obsLevel = opt.obsLevel;
+
+        if (opt.obsSelfcheck) {
+            // Self-measurement: run the same workload at every obs level,
+            // compare host wall-clock (the observability overhead) and
+            // verify the simulated result is bit-identical (observer
+            // effect must be zero).
+            struct LevelRun
+            {
+                obs::ObsLevel level;
+                double wallMs = 0;
+                Tick simTicks = 0;
+                std::uint64_t events = 0;
+            };
+            std::vector<LevelRun> runs;
+            {
+                // Untimed warm-up so the first timed run does not pay
+                // allocator/page-cache cold-start.
+                Session warm(buildByName(opt.model, opt.batch), cfg,
+                             policyByName(opt.policy, opt.lint));
+                (void)warm.run(1);
+            }
+            for (auto level : {obs::ObsLevel::Off, obs::ObsLevel::Metrics,
+                               obs::ObsLevel::Full}) {
+                ExecConfig c = cfg;
+                c.obsLevel = level;
+                Session s(buildByName(opt.model, opt.batch), c,
+                          policyByName(opt.policy, opt.lint));
+                auto t0 = std::chrono::steady_clock::now();
+                auto rr = s.run(opt.iterations);
+                auto t1 = std::chrono::steady_clock::now();
+                if (rr.oom)
+                    fatal("selfcheck run failed: {}", rr.oomMessage);
+                LevelRun lr;
+                lr.level = level;
+                lr.wallMs =
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count();
+                for (const auto &it : rr.iterations)
+                    lr.simTicks += it.duration();
+                lr.events = s.executor().obs().tracer.recorded();
+                runs.push_back(lr);
+            }
+            Table t({"obs level", "wall ms", "overhead", "sim time",
+                     "events"});
+            for (const auto &lr : runs) {
+                double over = runs[0].wallMs > 0
+                                  ? lr.wallMs / runs[0].wallMs - 1.0
+                                  : 0.0;
+                t.addRow({obs::obsLevelName(lr.level),
+                          cellDouble(lr.wallMs, 2), cellPercent(over),
+                          formatTicks(lr.simTicks),
+                          cellInt(static_cast<std::int64_t>(lr.events))});
+            }
+            t.print(std::cout);
+            for (const auto &lr : runs) {
+                if (lr.simTicks != runs[0].simTicks) {
+                    std::cerr << "capusim: OBSERVER EFFECT: simulated time "
+                                 "differs between obs levels\n";
+                    return 3;
+                }
+            }
+            std::cout << "observer effect: none (simulated time identical "
+                         "at every obs level)\n";
+            return 0;
+        }
 
         if (opt.findMax) {
             auto mb = findMaxBatch(
@@ -249,6 +364,17 @@ main(int argc, char **argv)
         Session session(buildByName(opt.model, opt.batch), cfg,
                         policyByName(opt.policy, opt.lint));
         auto r = session.run(opt.iterations);
+
+        // Export observability artifacts even on OOM — a truncated trace
+        // of a failed run is exactly what post-mortem debugging wants.
+        obs::Obs &o = session.executor().obs();
+        if (!opt.traceJson.empty() &&
+            obs::writeChromeTraceFile(opt.traceJson, o.tracer))
+            inform("wrote Chrome trace ({} events, {} dropped) to {}",
+                   o.tracer.size(), o.tracer.dropped(), opt.traceJson);
+        if (!opt.metricsFile.empty() &&
+            obs::writeMetricsFile(opt.metricsFile, o.metrics))
+            inform("wrote per-iteration metrics to {}", opt.metricsFile);
 
         if (opt.csv) {
             std::cout << "iter,images_per_s,duration_ms,peak_bytes,"
