@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "faults/fault_engine.hh"
 #include "support/logging.hh"
 
 namespace capu
@@ -15,10 +16,39 @@ CapuchinPolicy::CapuchinPolicy(CapuchinOptions opts) : opts_(opts)
 void
 CapuchinPolicy::beginIteration(ExecContext &ctx)
 {
+    iterStart_ = ctx.now();
+    driftAbs_ = 0.0;
+    driftBase_ = 0.0;
     if (ctx.iteration() == 0) {
         measured_ = true;
         tracker_.reset();
         measuredEvicted_ = 0;
+        measuredIterStart_ = iterStart_;
+        return;
+    }
+    if (remeasureRequested_) {
+        // The drift watchdog fired: the environment the plan was measured
+        // in no longer holds. Discard everything learned and re-enter
+        // measured execution for one clean iteration.
+        remeasureRequested_ = false;
+        measured_ = true;
+        tracker_.reset();
+        measuredEvicted_ = 0;
+        planBuilt_ = false;
+        planFromPartial_ = false;
+        plan_ = Plan{};
+        bestPlan_ = Plan{};
+        evictTriggers_.clear();
+        prefetchTriggers_.clear();
+        itemOf_.clear();
+        measuredTime_.clear();
+        targetBoost_ = 0;
+        guidedPassiveBytes_ = 0;
+        bestPassiveBytes_ = ~0ull;
+        refinementFrozen_ = false;
+        replans_ = 0;
+        triggersDirty_ = false;
+        measuredIterStart_ = iterStart_;
         return;
     }
     measured_ = false;
@@ -47,6 +77,17 @@ CapuchinPolicy::buildPlan(ExecContext &ctx, bool audit)
 
     rebuildTriggerMaps();
     planBuilt_ = true;
+    if (opts_.driftThreshold > 0.0) {
+        // Baseline for the drift watchdog: the measured trace's
+        // iteration-relative access times the plan assumes.
+        measuredTime_.clear();
+        for (const auto &rec : tracker_.sequence()) {
+            Tick rel = rec.time > measuredIterStart_
+                           ? rec.time - measuredIterStart_
+                           : 0;
+            measuredTime_[key(rec.tensor, rec.accessIndex)] = rel;
+        }
+    }
     inform("capuchin {}", plan_.summary());
 
     auto &o = ctx.obs();
@@ -110,6 +151,19 @@ CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
 
     // Guided execution: fire the plan's triggers for this exact access.
     auto k = key(event.tensor, event.accessIndex);
+
+    if (!measured_ && opts_.driftThreshold > 0.0) {
+        // Raw (stall-inclusive) timestamps: divergence caused by late
+        // prefetches and slowed transfers is exactly the signal.
+        auto mt = measuredTime_.find(k);
+        if (mt != measuredTime_.end()) {
+            Tick rel = event.when > iterStart_ ? event.when - iterStart_ : 0;
+            auto a = static_cast<double>(rel);
+            auto b = static_cast<double>(mt->second);
+            driftAbs_ += a > b ? a - b : b - a;
+            driftBase_ += b;
+        }
+    }
 
     auto &o = ctx.obs();
     auto pf = opts_.enablePrefetch ? prefetchTriggers_.find(k)
@@ -206,7 +260,28 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
                 return true;
             }
         }
-        return ctx.evictSwapSync(id);
+        if (ctx.evictSwapSync(id))
+            return true;
+        // Swap-out declined (host pool exhausted / transfer retries spent):
+        // dispose by drop-for-recompute when that is stably safe.
+        if (ctx.status(id) != TensorStatus::In || ctx.isPinned(id))
+            return false;
+        if (ctx.graph().tensor(id).kind == TensorKind::Weight)
+            return false;
+        if (!ctx.canRegenerateStably(id))
+            return false;
+        ctx.obs().tracer.instant(obs::kTrackRecovery,
+                                 obs::EventKind::Recovery, ctx.now(),
+                                 "recovery.passive-drop",
+                                 static_cast<std::int64_t>(id));
+        ctx.obs().metrics.add("recovery.drop_fallbacks");
+        ctx.evictDrop(id);
+        if (ctx.status(id) != TensorStatus::In) {
+            if (auto *fe = ctx.faults())
+                ++fe->stats().dropFallbacks;
+            return true;
+        }
+        return false;
     };
 
     // Targeted eviction first: free the cheapest set of tensors that
@@ -294,6 +369,10 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
     PlannedEviction &item = plan_.items[it->second];
     if (item.mode != RegenChoice::Swap)
         return;
+    auto deadband = static_cast<Tick>(
+        static_cast<double>(item.swapTime) * opts_.feedbackDeadband);
+    if (stall <= deadband)
+        return; // within tolerance: shifting earlier would over-prefetch
     ctx.obs().tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
                              ctx.now(), "feedback.shift",
                              static_cast<std::int64_t>(id));
@@ -308,6 +387,8 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
                                         : 0;
     triggersDirty_ = true;
     ++feedbackAdjustments_;
+    if (auto *fe = ctx.faults())
+        ++fe->stats().feedbackShifts;
 }
 
 void
@@ -316,6 +397,25 @@ CapuchinPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
     (void)stats;
     if (measured_)
         return;
+
+    if (opts_.driftThreshold > 0.0 && driftBase_ > 0.0 &&
+        remeasures_ < opts_.maxRemeasures &&
+        driftAbs_ / driftBase_ > opts_.driftThreshold) {
+        // Guided timestamps no longer match the trace the plan assumes:
+        // schedule a full re-measurement instead of refining a stale plan.
+        ++remeasures_;
+        remeasureRequested_ = true;
+        int pct = static_cast<int>(driftAbs_ / driftBase_ * 100.0);
+        auto &o = ctx.obs();
+        o.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                         ctx.now(), "recovery.remeasure");
+        o.metrics.add("plan.remeasures");
+        if (auto *fe = ctx.faults())
+            ++fe->stats().remeasures;
+        inform("capuchin: plan drift {}% exceeds threshold; re-entering "
+               "measured execution", pct);
+        return;
+    }
 
     // Iterative refinement: the plan's saving target came from passive
     // mode's eviction total, which underestimates the demand of the

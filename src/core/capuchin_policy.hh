@@ -49,6 +49,13 @@ struct CapuchinOptions
     bool enablePrefetch = true;
     /** In-trigger shift per feedback event, as fraction of SwapTime. */
     double feedbackStep = 0.05;
+    /**
+     * Feedback deadband: ignore back-access stalls shorter than this
+     * fraction of the item's SwapTime. Without it, residual jitter-sized
+     * stalls keep marching in-triggers earlier every iteration until
+     * prefetches bunch up at iteration start and the loop oscillates.
+     */
+    double feedbackDeadband = 0.02;
     /** Ignore tensors below this size. */
     std::uint64_t minTensorBytes = 1ull << 20;
     /** Plan this much beyond the measured eviction total (headroom). */
@@ -60,6 +67,19 @@ struct CapuchinOptions
      * runtime feedbacks", stable "usually within 50 iterations").
      */
     int maxReplans = 20;
+    /**
+     * Plan-drift watchdog: during guided execution, compare each access's
+     * observed iteration-relative timestamp against the measured trace the
+     * plan was built from. When the mean absolute divergence exceeds this
+     * fraction of the measured timeline, discard the plan and re-enter
+     * measured execution (the environment changed: PCIe contention, kernel
+     * slowdown, ...). 0 disables the watchdog entirely — no per-access
+     * bookkeeping, guaranteeing byte-identical behaviour to builds without
+     * it.
+     */
+    double driftThreshold = 0.0;
+    /** Upper bound on drift-triggered re-measurements per session. */
+    int maxRemeasures = 2;
     /**
      * Optional plan audit (capulint): invoked every time a plan is built
      * from a *complete* measured trace, before guided execution resumes.
@@ -93,6 +113,7 @@ class CapuchinPolicy : public MemoryPolicy
     bool planBuilt() const { return planBuilt_; }
     std::uint64_t measuredEvictedBytes() const { return measuredEvicted_; }
     int feedbackAdjustments() const { return feedbackAdjustments_; }
+    int remeasures() const { return remeasures_; }
 
   private:
     CapuchinOptions opts_;
@@ -110,6 +131,16 @@ class CapuchinPolicy : public MemoryPolicy
     bool refinementFrozen_ = false;
     int replans_ = 0;
     int feedbackAdjustments_ = 0;
+
+    // --- drift watchdog state (inert while driftThreshold == 0) ---
+    int remeasures_ = 0;
+    bool remeasureRequested_ = false;
+    Tick iterStart_ = 0;
+    Tick measuredIterStart_ = 0;
+    double driftAbs_ = 0.0;
+    double driftBase_ = 0.0;
+    /** key(tensor, accessIndex) -> measured iteration-relative tick. */
+    std::unordered_map<std::uint64_t, Tick> measuredTime_;
 
     /** (tensor, accessIndex) keys -> plan item indices. */
     std::unordered_map<std::uint64_t, std::size_t> evictTriggers_;

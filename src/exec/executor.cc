@@ -14,9 +14,9 @@ namespace capu
 Executor::Executor(const Graph &graph, ExecConfig config,
                    MemoryPolicy *policy)
     : graph_(graph), config_(std::move(config)), policy_(policy),
-      cost_(config_.device),
-      mem_(config_.device.memCapacity, config_.hostPoolBytes,
-           config_.allocator),
+      cost_(config_.device), faults_(config_.faults, config_.seed),
+      mem_(config_.device.memCapacity,
+           faults_.clampHostBytes(config_.hostPoolBytes), config_.allocator),
       compute_("compute"),
       pcie_(config_.device.pcieBandwidth, config_.device.pcieLatency)
 {
@@ -29,6 +29,18 @@ Executor::Executor(const Graph &graph, ExecConfig config,
     mem_.attachTracer(&obs_.tracer);
     obs_.tracer.setTrackName(obs::kTrackHost, "host");
     obs_.tracer.setTrackName(obs::kTrackPolicy, "policy");
+    obs_.tracer.setMeta("seed", fmt("{}", config_.seed));
+    obs_.tracer.setMeta("faults", faults_.spec().summary());
+    if (faults_.enabled()) {
+        faults_.attachTracer(&obs_.tracer);
+        pcie_.attachFaults(&faults_);
+        inform("capuchaos armed: {} (seed {})", faults_.spec().summary(),
+               config_.seed);
+    } else {
+        obs_.tracer.setTrackName(obs::kTrackRecovery, "recovery");
+    }
+    if (obs_.metricsOn())
+        obs_.metrics.setCounter("run.seed", config_.seed);
 }
 
 TensorState &
@@ -97,6 +109,15 @@ Executor::setup()
             static_cast<int>(graph_.consumers(static_cast<TensorId>(t))
                                  .size());
     }
+    // Schedule position of each tensor's last consumer (-1 = never
+    // consumed). Host copies die at refcount zero, i.e. right after this
+    // position; regenCheck() uses it to decide whether a host copy will
+    // still exist when a dropped descendant replays.
+    lastUsePos_.assign(graph_.numTensors(), -1);
+    for (std::size_t p = 0; p < schedule_.size(); ++p) {
+        for (TensorId in : graph_.op(schedule_[p]).inputs)
+            lastUsePos_[in] = static_cast<int>(p);
+    }
     setupWeights();
     if (policy_)
         policy_->attach(graph_, schedule_, config_);
@@ -116,7 +137,7 @@ Executor::setupWeights()
             throw OomError(
                 fmt("weights alone exceed GPU memory (placing {})",
                     describeTensor(t)),
-                t.bytes);
+                t.bytes, oomContext(t.id));
         }
         TensorState &st = state(t.id);
         st.gpuHandle = *h;
@@ -230,9 +251,51 @@ Executor::finishIterationState()
     ++iteration_;
 }
 
+std::string
+OomContext::describe(std::uint64_t requested_bytes) const
+{
+    int frag_pct = static_cast<int>(fragmentation * 100.0 + 0.5);
+    std::string s = fmt("OOM post-mortem (iteration {}):\n", iteration);
+    s += fmt("  request: {}", formatBytes(requested_bytes));
+    if (tensor != kInvalidTensor)
+        s += fmt(" for tensor '{}' (id {})", tensorName, tensor);
+    s += "\n";
+    if (op != kInvalidOp)
+        s += fmt("  executing op: '{}' (id {})\n", opName, op);
+    s += fmt("  gpu: {} in use, {} free, largest free chunk {}, "
+             "{} free chunks, fragmentation {}%\n",
+             formatBytes(gpuBytesInUse), formatBytes(gpuBytesFree),
+             formatBytes(largestFreeChunk), freeChunkCount, frag_pct);
+    s += fmt("  host pool: {} / {} in use", formatBytes(hostBytesInUse),
+             formatBytes(hostCapacity));
+    return s;
+}
+
+OomContext
+Executor::oomContext(TensorId tensor) const
+{
+    OomContext ctx;
+    ctx.op = currentOp_;
+    if (currentOp_ != kInvalidOp)
+        ctx.opName = graph_.op(currentOp_).name;
+    ctx.tensor = tensor;
+    if (tensor != kInvalidTensor)
+        ctx.tensorName = graph_.tensor(tensor).name;
+    const BfcStats &bfc = mem_.gpu().stats();
+    ctx.gpuBytesInUse = bfc.bytesInUse;
+    ctx.gpuBytesFree = mem_.gpu().bytesFree();
+    ctx.largestFreeChunk = bfc.largestFreeChunk;
+    ctx.freeChunkCount = bfc.freeChunkCount;
+    ctx.fragmentation = mem_.gpu().fragmentation();
+    ctx.hostBytesInUse = mem_.host().bytesInUse();
+    ctx.hostCapacity = mem_.host().capacity();
+    ctx.iteration = iteration_;
+    return ctx;
+}
+
 MemHandle
 Executor::allocateOrDie(Tick &at, std::uint64_t bytes,
-                        const std::string &what)
+                        const std::string &what, TensorId tensor)
 {
     while (true) {
         Tick t0 = at;
@@ -262,7 +325,7 @@ Executor::allocateOrDie(Tick &at, std::uint64_t bytes,
                 formatBytes(bytes), what,
                 formatBytes(mem_.gpu().bytesInUse()),
                 formatBytes(mem_.gpu().stats().largestFreeChunk)),
-            bytes);
+            bytes, oomContext(tensor));
     }
 }
 
@@ -310,7 +373,12 @@ Executor::ensureResident(TensorId id, Tick at)
           // On-demand swap-in (passive mode / missed prefetch).
           Tick t0 = at;
           MemHandle h = allocateOrDie(at, allocBytes(id),
-                                      graph_.tensor(id).name);
+                                      graph_.tensor(id).name, id);
+          obs_.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                              at,
+                              "recovery.ondemand-swapin:" +
+                                  graph_.tensor(id).name,
+                              static_cast<std::int64_t>(id));
           Tick done = pcie_.transfer(CopyDir::HostToDevice,
                                      wireBytes(allocBytes(id)), at,
                                      "swapin:" + graph_.tensor(id).name,
@@ -458,7 +526,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
             if (!h) {
                 clock_ = std::max(clock_, at);
                 h = allocateOrDie(at, allocBytes(out),
-                                  graph_.tensor(out).name);
+                                  graph_.tensor(out).name, out);
             }
             ost.gpuHandle = *h;
             ost.status = TensorStatus::In;
@@ -466,6 +534,8 @@ Executor::recomputeTensor(TensorId target, Tick at)
         }
 
         Tick dur = cost_.opDuration(op, fast);
+        if (faults_.enabled())
+            dur = faults_.jitterKernel(dur);
         Tick end = compute_.enqueue(at, dur, "recompute:" + op.name,
                                     obs::EventKind::Recompute,
                                     static_cast<std::int64_t>(target),
@@ -627,7 +697,7 @@ Executor::runOp(OpId id)
                   st.produced, st.remainingUses, st.hasHostCopy);
         }
         MemHandle h = allocateOrDie(t, allocBytes(out),
-                                    graph_.tensor(out).name);
+                                    graph_.tensor(out).name, out);
         st.gpuHandle = h;
         st.status = TensorStatus::In;
         st.produced = true;
@@ -637,6 +707,8 @@ Executor::runOp(OpId id)
 
     // (4) Kernel.
     Tick dur = cost_.opDuration(op, fast);
+    if (faults_.enabled())
+        dur = faults_.jitterKernel(dur);
     Tick end = compute_.enqueue(t, dur, op.name, obs::EventKind::Kernel, -1,
                                 static_cast<std::int64_t>(id));
     Tick start = end - dur;
@@ -840,13 +912,24 @@ Executor::feedIterationMetrics()
     m.setCounter("bfc.splits", bfc.splitCount);
     m.setCounter("bfc.merges", bfc.mergeCount);
     m.setCounter("bfc.failed_allocs", bfc.failedAllocs);
-    std::uint64_t free_bytes = mem_.gpu().bytesFree();
-    m.set("bfc.fragmentation",
-          free_bytes == 0
-              ? 0.0
-              : 1.0 - static_cast<double>(bfc.largestFreeChunk) /
-                          static_cast<double>(free_bytes));
+    m.set("bfc.fragmentation", mem_.gpu().fragmentation());
     m.set("gpu.peak_bytes", static_cast<double>(stats_.peakGpuBytes));
+    m.setCounter("host.failed_allocs", mem_.host().failedAllocs());
+
+    if (faults_.enabled()) {
+        const faults::FaultStats &fs = faults_.stats();
+        m.setCounter("fault.pcie.degraded_transfers", fs.degradedTransfers);
+        m.setCounter("fault.kernel.jittered", fs.jitteredKernels);
+        m.setCounter("fault.host.reject_count", fs.hostRejects);
+        m.setCounter("fault.swap.failures", fs.swapAttemptFailures);
+        m.setCounter("recovery.swap_retries", fs.swapRetries);
+        m.setCounter("recovery.swap_forced", fs.swapForced);
+        m.setCounter("recovery.drop_fallback_count", fs.dropFallbacks);
+        m.setCounter("recovery.swap_skip_count", fs.swapSkips);
+        m.setCounter("recovery.prefetch_miss_count", fs.prefetchMisses);
+        m.setCounter("recovery.remeasure_count", fs.remeasures);
+        m.setCounter("recovery.feedback_shift_count", fs.feedbackShifts);
+    }
 
     double hidden = 1.0;
     if (stats_.prefetchBusy > 0) {
@@ -937,8 +1020,14 @@ Executor::regenCheck(TensorId id, bool accept_transient)
         if (tid != id) {
             if (graph_.tensor(tid).kind == TensorKind::Weight)
                 continue;
-            if (accept_transient && st.hasHostCopy)
-                continue; // swappable source (until its refcount death)
+            // A host copy survives until its tensor's last scheduled use
+            // (refcount death frees it). It is a durable replay source
+            // only if that death comes no earlier than the last point at
+            // which `id` could replay — its own last use. With
+            // accept_transient any host copy counts.
+            if (st.hasHostCopy &&
+                (accept_transient || lastUsePos_[tid] >= lastUsePos_[id]))
+                continue;
             if (accept_transient &&
                 (s == TensorStatus::In || s == TensorStatus::SwappingOut ||
                  s == TensorStatus::SwappingIn))
@@ -1063,6 +1152,56 @@ Executor::nominalOpDuration(OpId id) const
 
 // --- ExecContext actions ---
 
+std::uint64_t
+Executor::hostStage(TensorId id, std::uint64_t wire_bytes)
+{
+    if (faults_.enabled() && faults_.hostTransientFail()) {
+        ++faults_.stats().hostRejects;
+        faults_.noteFault(clock_,
+                          "fault.host.transient:" + graph_.tensor(id).name,
+                          static_cast<std::int64_t>(id), wire_bytes);
+        obs_.metrics.add("fault.host.rejects");
+        return 0;
+    }
+    std::uint64_t h = mem_.host().allocate(wire_bytes);
+    if (h == 0) {
+        if (faults_.enabled()) {
+            ++faults_.stats().hostRejects;
+            faults_.noteFault(clock_,
+                              "fault.host.exhausted:" +
+                                  graph_.tensor(id).name,
+                              static_cast<std::int64_t>(id), wire_bytes);
+        }
+        obs_.metrics.add("fault.host.rejects");
+    }
+    return h;
+}
+
+bool
+Executor::swapToDropFallback(TensorId id)
+{
+    TensorState &st = state(id);
+    if (!st.hasHostCopy && !canRegenerateStably(id)) {
+        // Nothing safe to do: the tensor stays resident; passive mode will
+        // look for another victim.
+        ++faults_.stats().swapSkips;
+        obs_.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                            clock_,
+                            "recovery.swap-skipped:" + graph_.tensor(id).name,
+                            static_cast<std::int64_t>(id));
+        obs_.metrics.add("recovery.swap_skipped");
+        return false;
+    }
+    ++faults_.stats().dropFallbacks;
+    obs_.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                        clock_,
+                        "recovery.swap-to-drop:" + graph_.tensor(id).name,
+                        static_cast<std::int64_t>(id));
+    obs_.metrics.add("recovery.drop_fallbacks");
+    evictDrop(id);
+    return !st.gpuHandle;
+}
+
 void
 Executor::evictSwapAsync(TensorId id)
 {
@@ -1073,31 +1212,46 @@ Executor::evictSwapAsync(TensorId id)
         panic("policy tried to evict weight {}", graph_.tensor(id).name);
 
     std::uint64_t bytes = allocBytes(id);
+    // Stage the pinned host destination before touching PCIe: staging
+    // consumes no simulated time, and a failure here must degrade to
+    // drop-for-recompute instead of aborting the run.
+    bool fresh_host = false;
+    if (!st.hasHostCopy) {
+        st.hostHandle = hostStage(id, wireBytes(bytes));
+        if (st.hostHandle == 0) {
+            swapToDropFallback(id);
+            return;
+        }
+        st.hasHostCopy = true;
+        fresh_host = true;
+    }
     // The evicting access's kernel must retire before the copy may start.
     Tick ready = std::max(clock_, currentOp_ != kInvalidOp ? currentOpEnd_
                                                            : clock_);
-    Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
-                               ready,
-                               "swapout:" + graph_.tensor(id).name,
-                               static_cast<std::int64_t>(id));
-    if (!st.hasHostCopy) {
-        st.hostHandle = mem_.host().allocate(wireBytes(bytes));
-        if (st.hostHandle == 0) {
-            throw OomError(fmt("host pinned pool exhausted swapping {}",
-                               graph_.tensor(id).name),
-                           bytes);
+    auto done = pcie_.tryTransfer(CopyDir::DeviceToHost, wireBytes(bytes),
+                                  ready,
+                                  "swapout:" + graph_.tensor(id).name,
+                                  static_cast<std::int64_t>(id));
+    if (!done) {
+        // Retries exhausted: release the staging we just reserved and
+        // degrade. Pre-existing host copies stay valid.
+        if (fresh_host) {
+            mem_.host().deallocate(st.hostHandle);
+            st.hostHandle = 0;
+            st.hasHostCopy = false;
         }
-        st.hasHostCopy = true;
+        swapToDropFallback(id);
+        return;
     }
-    mem_.freeAt(done, *st.gpuHandle);
+    mem_.freeAt(*done, *st.gpuHandle);
     st.gpuHandle.reset();
     st.status = TensorStatus::SwappingOut;
-    st.swapOutDone = done;
+    st.swapOutDone = *done;
     ++stats_.swapOutCount;
     stats_.swapOutBytes += bytes;
     noteOut(id);
     notePhase(id, "SWAPPING_OUT", pcie_.lastStart(CopyDir::DeviceToHost));
-    notePhase(id, "OUT", done);
+    notePhase(id, "OUT", *done);
 }
 
 Tick
@@ -1127,29 +1281,36 @@ Executor::evictSwapSync(TensorId id)
         return false;
 
     std::uint64_t bytes = allocBytes(id);
-    Tick done = pcie_.transfer(CopyDir::DeviceToHost, wireBytes(bytes),
-                               clock_,
-                               "oom-swapout:" + graph_.tensor(id).name,
-                               static_cast<std::int64_t>(id));
+    bool fresh_host = false;
     if (!st.hasHostCopy) {
-        st.hostHandle = mem_.host().allocate(wireBytes(bytes));
-        if (st.hostHandle == 0) {
-            throw OomError(fmt("host pinned pool exhausted swapping {}",
-                               graph_.tensor(id).name),
-                           bytes);
-        }
+        st.hostHandle = hostStage(id, wireBytes(bytes));
+        if (st.hostHandle == 0)
+            return false; // caller (passive mode) picks another disposal
         st.hasHostCopy = true;
+        fresh_host = true;
     }
-    mem_.freeAt(done, *st.gpuHandle);
+    auto done = pcie_.tryTransfer(CopyDir::DeviceToHost, wireBytes(bytes),
+                                  clock_,
+                                  "oom-swapout:" + graph_.tensor(id).name,
+                                  static_cast<std::int64_t>(id));
+    if (!done) {
+        if (fresh_host) {
+            mem_.host().deallocate(st.hostHandle);
+            st.hostHandle = 0;
+            st.hasHostCopy = false;
+        }
+        return false;
+    }
+    mem_.freeAt(*done, *st.gpuHandle);
     st.gpuHandle.reset();
     st.status = TensorStatus::SwappingOut;
-    st.swapOutDone = done;
+    st.swapOutDone = *done;
     ++stats_.swapOutCount;
     ++stats_.oomEvictions;
     stats_.swapOutBytes += bytes;
     noteOut(id);
     notePhase(id, "SWAPPING_OUT", pcie_.lastStart(CopyDir::DeviceToHost));
-    notePhase(id, "OUT", done);
+    notePhase(id, "OUT", *done);
     return true;
 }
 
@@ -1201,8 +1362,18 @@ Executor::prefetchAsync(TensorId id)
         return;
     std::uint64_t bytes = allocBytes(id);
     auto h = mem_.allocate(clock_, bytes);
-    if (!h)
-        return; // peak-memory window: degrade to on-demand at back-access
+    if (!h) {
+        // Peak-memory window: degrade to on-demand at the back access
+        // (passive-mode safety net).
+        ++faults_.stats().prefetchMisses;
+        obs_.metrics.add("prefetch.miss");
+        obs_.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                            clock_,
+                            "recovery.prefetch-miss:" +
+                                graph_.tensor(id).name,
+                            static_cast<std::int64_t>(id));
+        return;
+    }
     Tick done = pcie_.transfer(CopyDir::HostToDevice, wireBytes(bytes),
                                ready,
                                "prefetch:" + graph_.tensor(id).name,

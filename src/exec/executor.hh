@@ -36,6 +36,8 @@
 #include "exec/cost_model.hh"
 #include "exec/memory_manager.hh"
 #include "exec/memory_policy.hh"
+#include "faults/fault_engine.hh"
+#include "faults/fault_spec.hh"
 #include "graph/graph.hh"
 #include "obs/obs.hh"
 #include "sim/gpu_device.hh"
@@ -46,16 +48,44 @@
 namespace capu
 {
 
+/**
+ * Post-mortem context captured at the OOM throw site: what was executing,
+ * which tensor was being materialized, and allocator-level fragmentation
+ * state — enough to diagnose *why* the request could not be satisfied
+ * without replaying the run under a debugger.
+ */
+struct OomContext
+{
+    OpId op = kInvalidOp;
+    std::string opName;
+    TensorId tensor = kInvalidTensor;
+    std::string tensorName;
+    std::uint64_t gpuBytesInUse = 0;
+    std::uint64_t gpuBytesFree = 0;
+    std::uint64_t largestFreeChunk = 0;
+    std::uint64_t freeChunkCount = 0;
+    double fragmentation = 0.0;
+    std::uint64_t hostBytesInUse = 0;
+    std::uint64_t hostCapacity = 0;
+    int iteration = 0;
+
+    /** Multi-line human-readable post-mortem report. */
+    std::string describe(std::uint64_t requested_bytes) const;
+};
+
 /** Raised when memory cannot be found even with the policy's help. */
 class OomError : public std::runtime_error
 {
   public:
-    OomError(const std::string &what, std::uint64_t bytes)
-        : std::runtime_error(what), requestedBytes(bytes)
+    OomError(const std::string &what, std::uint64_t bytes,
+             OomContext ctx = {})
+        : std::runtime_error(what), requestedBytes(bytes),
+          context(std::move(ctx))
     {
     }
 
     std::uint64_t requestedBytes;
+    OomContext context;
 };
 
 struct ExecConfig
@@ -102,6 +132,16 @@ struct ExecConfig
      * (ReLU zeros) makes ~2x lossless ratios realistic for CNNs.
      */
     double swapCompressionRatio = 1.0;
+
+    /**
+     * Fault-injection plan (capuchaos). Default-constructed (all clauses
+     * off) the executor takes the exact legacy code paths — simulated
+     * timestamps are bit-identical to a build without the fault layer.
+     */
+    faults::FaultSpec faults;
+
+    /** Seed for the fault engine's RNG; recorded in metrics and traces. */
+    std::uint64_t seed = 0;
 };
 
 struct IterationStats
@@ -219,6 +259,7 @@ class Executor : public ExecContext
     const CostModel &costModel() const override { return cost_; }
     Tick now() const override { return clock_; }
     obs::Obs &obs() override { return obs_; }
+    faults::FaultEngine *faults() override { return &faults_; }
 
     // --- ExecContext actions ---
     void evictSwapAsync(TensorId id) override;
@@ -231,6 +272,7 @@ class Executor : public ExecContext
     Stream &computeStream() { return compute_; }
     PcieLink &pcie() { return pcie_; }
     MemoryManager &memory() { return mem_; }
+    faults::FaultEngine &faultEngine() { return faults_; }
     const TensorState &tensorState(TensorId id) const;
     const ExecConfig &config() const { return config_; }
 
@@ -242,6 +284,8 @@ class Executor : public ExecContext
     ExecConfig config_;
     MemoryPolicy *policy_;
     CostModel cost_;
+    /// Constructed before mem_: its clampHostBytes caps the host pool.
+    faults::FaultEngine faults_;
     obs::Obs obs_;
     MemoryManager mem_;
     Stream compute_;
@@ -250,6 +294,7 @@ class Executor : public ExecContext
     std::vector<OpId> schedule_;
     std::vector<TensorState> states_;
     std::vector<int> usesPerIteration_; ///< consumer count per tensor
+    std::vector<int> lastUsePos_; ///< schedule index of last consumer (-1)
 
     Tick clock_ = 0;       ///< host-loop master clock
     Tick hostClock_ = 0;   ///< eager-mode interpreter time
@@ -272,7 +317,26 @@ class Executor : public ExecContext
 
     /** Allocate under the full OOM protocol; advances `at` on waits. */
     MemHandle allocateOrDie(Tick &at, std::uint64_t bytes,
-                            const std::string &what);
+                            const std::string &what,
+                            TensorId tensor = kInvalidTensor);
+
+    /** OOM post-mortem snapshot for the current op / `tensor`. */
+    OomContext oomContext(TensorId tensor) const;
+
+    /**
+     * Reserve `wire_bytes` of pinned host staging for `id`, consulting the
+     * fault engine's transient-failure injection first. Returns the host
+     * handle or 0 (exhausted / injected failure), never throws.
+     */
+    std::uint64_t hostStage(TensorId id, std::uint64_t wire_bytes);
+
+    /**
+     * Degradation fallback when a swap-out cannot complete (host staging
+     * failed or transfer retries exhausted): drop-for-recompute when that
+     * is stably safe, otherwise leave the tensor resident. Returns true
+     * if the tensor was disposed of (dropped).
+     */
+    bool swapToDropFallback(TensorId id);
 
     /** Make `id` resident at time `at`; returns the ready tick. */
     Tick ensureResident(TensorId id, Tick at);

@@ -31,6 +31,11 @@
 namespace capu
 {
 
+namespace faults
+{
+class FaultEngine;
+} // namespace faults
+
 struct ExecConfig;
 struct IterationStats;
 
@@ -126,6 +131,13 @@ class ExecContext
      * when observability is off.
      */
     virtual obs::Obs &obs() { return obs::Obs::disabled(); }
+
+    /**
+     * Fault/perturbation engine (capuchaos) for recovery accounting.
+     * Null for contexts without one; the engine may be attached yet
+     * disabled — its FaultStats counters are valid either way.
+     */
+    virtual faults::FaultEngine *faults() { return nullptr; }
 
     // --- actions ---
 

@@ -73,8 +73,18 @@ Session::run(int iterations)
     } catch (const OomError &e) {
         result.oom = true;
         result.oomMessage = e.what();
+        result.oomRequestedBytes = e.requestedBytes;
+        result.oomContext = e.context;
     }
     return result;
+}
+
+std::string
+SessionResult::postMortem() const
+{
+    if (!oom)
+        return "";
+    return oomContext.describe(oomRequestedBytes);
 }
 
 std::int64_t

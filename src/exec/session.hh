@@ -26,8 +26,13 @@ struct SessionResult
 {
     bool oom = false;
     std::string oomMessage;
+    std::uint64_t oomRequestedBytes = 0;
+    OomContext oomContext;
     std::vector<IterationStats> iterations;
     GraphStats graphStats;
+
+    /** Multi-line OOM diagnosis (empty when the run completed). */
+    std::string postMortem() const;
 
     /**
      * Mean images(samples)/sec over iterations after `skip` warm-up

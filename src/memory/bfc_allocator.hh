@@ -96,6 +96,21 @@ class BfcAllocator
 
     const BfcStats &stats() const;
 
+    /**
+     * Fragmentation gauge: 1 - largestFreeChunk / bytesFree, i.e. the
+     * share of free memory a single contiguous allocation cannot reach.
+     * 0 when the arena is fully occupied (or one chunk holds all slack).
+     */
+    double
+    fragmentation() const
+    {
+        std::uint64_t free_bytes = bytesFree();
+        if (free_bytes == 0)
+            return 0.0;
+        return 1.0 - static_cast<double>(stats().largestFreeChunk) /
+                         static_cast<double>(free_bytes);
+    }
+
     /** One arena chunk, for fragmentation analysis / targeted eviction. */
     struct ChunkInfo
     {

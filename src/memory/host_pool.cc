@@ -14,8 +14,11 @@ HostPinnedPool::HostPinnedPool(std::uint64_t capacity) : capacity_(capacity)
 std::uint64_t
 HostPinnedPool::allocate(std::uint64_t bytes)
 {
-    if (inUse_ + bytes > capacity_)
+    if (inUse_ + bytes > capacity_) {
+        ++failedAllocs_;
+        failedBytes_ += bytes;
         return 0;
+    }
     inUse_ += bytes;
     peak_ = std::max(peak_, inUse_);
     std::uint64_t h = nextHandle_++;

@@ -143,7 +143,12 @@ writeChromeTrace(std::ostream &os, const Tracer &tracer)
 
     os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
           "\"recorded\":"
-       << tracer.recorded() << ",\"dropped\":" << tracer.dropped() << "}}\n";
+       << tracer.recorded() << ",\"dropped\":" << tracer.dropped();
+    for (const auto &[key, value] : tracer.meta()) {
+        os << ",\"" << jsonEscape(key) << "\":\"" << jsonEscape(value)
+           << "\"";
+    }
+    os << "}}\n";
 }
 
 bool

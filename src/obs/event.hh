@@ -30,7 +30,9 @@ namespace capu::obs
  * Trace tracks (Chrome `tid`s under one `pid`). Compute and the two PCIe
  * lanes mirror the simulator's execution resources; Host carries the host
  * loop's stalls and OOM-protocol steps; Policy carries decision instants;
- * Memory carries allocator counter samples.
+ * Memory carries allocator counter samples; Fault carries injected
+ * capuchaos episodes and Recovery the pipeline's degradation reactions,
+ * so chaos traces show cause and reaction side by side.
  */
 enum Track : std::uint32_t
 {
@@ -40,6 +42,8 @@ enum Track : std::uint32_t
     kTrackH2D = 3,
     kTrackPolicy = 4,
     kTrackMemory = 5,
+    kTrackFault = 6,
+    kTrackRecovery = 7,
 };
 
 /** How the event maps onto the Chrome trace_event phase model. */
@@ -67,6 +71,8 @@ enum class EventKind : std::uint8_t
     Lifetime,  ///< tensor residency phase (async span, id = tensor)
     Sample,    ///< counter sample (value carries the measurement)
     Marker,    ///< structural marker (iteration boundaries, aborts)
+    Fault,     ///< injected perturbation episode (capuchaos)
+    Recovery,  ///< degradation/recovery reaction (retry, fallback, ...)
 };
 
 const char *eventKindName(EventKind kind);

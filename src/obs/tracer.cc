@@ -23,6 +23,8 @@ eventKindName(EventKind kind)
       case EventKind::Lifetime: return "tensor";
       case EventKind::Sample: return "sample";
       case EventKind::Marker: return "marker";
+      case EventKind::Fault: return "fault";
+      case EventKind::Recovery: return "recovery";
     }
     return "?";
 }
@@ -61,6 +63,18 @@ Tracer::setTrackName(std::uint32_t track, std::string name)
         }
     }
     trackNames_.emplace_back(track, std::move(name));
+}
+
+void
+Tracer::setMeta(std::string key, std::string value)
+{
+    for (auto &[k, v] : meta_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    meta_.emplace_back(std::move(key), std::move(value));
 }
 
 void

@@ -61,6 +61,19 @@ class Tracer
         return trackNames_;
     }
 
+    /**
+     * Run-level metadata (seed, fault plan, ...) exported into the Chrome
+     * trace's otherData so any artifact identifies the run that produced
+     * it. Stored even while tracing is disabled. Re-setting a key
+     * overwrites its value.
+     */
+    void setMeta(std::string key, std::string value);
+    const std::vector<std::pair<std::string, std::string>> &
+    meta() const
+    {
+        return meta_;
+    }
+
     void record(TraceEvent ev);
 
     // --- convenience emitters (no-ops while disabled) ---
@@ -101,6 +114,7 @@ class Tracer
   private:
     std::vector<TraceEvent> buf_;
     std::vector<std::pair<std::uint32_t, std::string>> trackNames_;
+    std::vector<std::pair<std::string, std::string>> meta_;
     std::size_t capacity_;
     std::size_t next_ = 0; ///< overwrite cursor once the ring is full
     std::uint64_t recorded_ = 0;

@@ -21,11 +21,70 @@ PcieLink::transferTime(std::uint64_t bytes) const
 }
 
 Tick
+PcieLink::degradedTransferTime(std::uint64_t bytes, Tick start) const
+{
+    if (!faultsOn())
+        return transferTime(bytes);
+    // The factor at the transfer's start governs the whole copy (episode
+    // granularity is far coarser than a single transfer).
+    double factor = faults_->pcieFactor(start);
+    double ns = static_cast<double>(bytes) / (bandwidth_ * factor) * 1e9;
+    return latency_ + static_cast<Tick>(ns + 0.5);
+}
+
+std::optional<Tick>
+PcieLink::tryTransfer(CopyDir dir, std::uint64_t bytes, Tick ready,
+                      std::string label, std::int64_t tensor)
+{
+    Stream &ln = lane(dir);
+    if (!faultsOn()) {
+        return ln.enqueue(ready, transferTime(bytes), std::move(label),
+                          obs::EventKind::Transfer, tensor, -1, bytes);
+    }
+    Tick nominal = transferTime(bytes);
+    Tick at = ready;
+    int budget = faults_->spec().swapRetries;
+    for (int attempt = 0;; ++attempt) {
+        Tick start = std::max(at, ln.busyUntil());
+        Tick dur = degradedTransferTime(bytes, start);
+        if (!faults_->swapAttemptFails()) {
+            if (dur > nominal) {
+                ++faults_->stats().degradedTransfers;
+                faults_->noteFault(start, "fault.pcie.degraded", tensor,
+                                   bytes);
+            }
+            return ln.enqueue(at, dur, std::move(label),
+                              obs::EventKind::Transfer, tensor, -1, bytes);
+        }
+        // The failed attempt occupies the lane for its wire time, then
+        // aborts; the payload never lands.
+        ++faults_->stats().swapAttemptFailures;
+        faults_->noteFault(start, "fault.swap.attempt", tensor, bytes);
+        ln.enqueue(at, dur, label + "!fail", obs::EventKind::Transfer,
+                   tensor, -1, bytes);
+        if (attempt >= budget)
+            return std::nullopt;
+        ++faults_->stats().swapRetries;
+        at = ln.busyUntil() + faults_->retryBackoff(attempt);
+        faults_->noteRecovery(at, "recovery.swap-retry", tensor, bytes);
+    }
+}
+
+Tick
 PcieLink::transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
                    std::string label, std::int64_t tensor)
 {
-    return lane(dir).enqueue(ready, transferTime(bytes), std::move(label),
-                             obs::EventKind::Transfer, tensor, -1, bytes);
+    if (auto done = tryTransfer(dir, bytes, ready, label, tensor))
+        return *done;
+    // Retry budget spent on a must-succeed transfer (swap-in, prefetch):
+    // force one final attempt through — the lane has already paid for the
+    // failed tries, and the data has to move for execution to continue.
+    ++faults_->stats().swapForced;
+    Stream &ln = lane(dir);
+    Tick at = std::max(ready, ln.busyUntil());
+    faults_->noteRecovery(at, "recovery.swap-forced", tensor, bytes);
+    return ln.enqueue(at, degradedTransferTime(bytes, at), std::move(label),
+                      obs::EventKind::Transfer, tensor, -1, bytes);
 }
 
 void
@@ -33,6 +92,12 @@ PcieLink::attachTracer(obs::Tracer *tracer)
 {
     d2h_.attachTracer(tracer, obs::kTrackD2H);
     h2d_.attachTracer(tracer, obs::kTrackH2D);
+}
+
+void
+PcieLink::attachFaults(faults::FaultEngine *engine)
+{
+    faults_ = engine;
 }
 
 Tick

@@ -14,8 +14,10 @@
 #define CAPU_SIM_PCIE_LINK_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "faults/fault_engine.hh"
 #include "sim/stream.hh"
 #include "support/units.hh"
 
@@ -37,19 +39,44 @@ class PcieLink
      */
     PcieLink(double bandwidth, Tick latency);
 
-    /** Pure transfer duration for `bytes` (latency + size/bandwidth). */
+    /**
+     * Pure nominal transfer duration for `bytes` (latency +
+     * size/bandwidth). Planners use this as SwapTime; injected bandwidth
+     * degradation deliberately does NOT show up here — drift between the
+     * nominal plan and degraded reality is what the policy's feedback and
+     * re-measurement machinery reacts to.
+     */
     Tick transferTime(std::uint64_t bytes) const;
 
+    /** Transfer duration under the fault engine's bandwidth factor. */
+    Tick degradedTransferTime(std::uint64_t bytes, Tick start) const;
+
     /**
-     * Enqueue a transfer; returns its completion tick.
+     * Enqueue a must-succeed transfer; returns its completion tick.
+     * Under an attached fault engine, failed attempts occupy the lane and
+     * retry with backoff; when the retry budget runs out the final attempt
+     * is forced through (counted in FaultStats::swapForced) — data that
+     * must move eventually does.
      * @param ready Earliest start (data-production dependency).
      * @param tensor Optional tensor id for the trace event.
      */
     Tick transfer(CopyDir dir, std::uint64_t bytes, Tick ready,
                   std::string label, std::int64_t tensor = -1);
 
+    /**
+     * Like transfer(), but gives up after the retry budget: returns
+     * nullopt so the caller can degrade (e.g. swap-out falls back to
+     * recompute-eviction). Identical to transfer() without faults.
+     */
+    std::optional<Tick> tryTransfer(CopyDir dir, std::uint64_t bytes,
+                                    Tick ready, std::string label,
+                                    std::int64_t tensor = -1);
+
     /** Route both lanes into `tracer` (D2H/H2D tracks); nullptr detaches. */
     void attachTracer(obs::Tracer *tracer);
+
+    /** Consult `engine` for degradation/failure; nullptr detaches. */
+    void attachFaults(faults::FaultEngine *engine);
 
     /** Tick when the given direction's lane drains. */
     Tick laneBusyUntil(CopyDir dir) const;
@@ -65,10 +92,13 @@ class PcieLink
     void reset();
 
   private:
+    bool faultsOn() const { return faults_ && faults_->enabled(); }
+
     double bandwidth_;
     Tick latency_;
     Stream d2h_;
     Stream h2d_;
+    faults::FaultEngine *faults_ = nullptr;
 };
 
 } // namespace capu

@@ -15,14 +15,17 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "analysis/lint_hooks.hh"
 #include "core/capuchin_policy.hh"
 #include "core/trace_io.hh"
 #include "exec/session.hh"
+#include "faults/fault_spec.hh"
 #include "models/zoo.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/obs.hh"
@@ -53,6 +56,8 @@ struct Options
     std::string dumpTrace;
     std::string traceJson;
     std::string metricsFile;
+    std::string faults;
+    std::uint64_t seed = 0;
     obs::ObsLevel obsLevel = obs::ObsLevel::Off;
     bool obsLevelSet = false;
 };
@@ -79,7 +84,7 @@ buildByName(const std::string &name, std::int64_t batch)
 }
 
 std::unique_ptr<MemoryPolicy>
-policyByName(const std::string &name, bool lint)
+policyByName(const std::string &name, bool lint, bool faults_on = false)
 {
     auto vdnn = [&](VdnnPolicy::Mode mode) -> std::unique_ptr<MemoryPolicy> {
         auto p = std::make_unique<VdnnPolicy>(mode);
@@ -96,6 +101,11 @@ policyByName(const std::string &name, bool lint)
     };
     auto capuchin =
         [&](CapuchinOptions o) -> std::unique_ptr<MemoryPolicy> {
+        if (faults_on) {
+            // Under fault injection, arm the plan-drift watchdog so the
+            // policy re-measures when the environment shifts under it.
+            o.driftThreshold = 0.35;
+        }
         if (lint)
             enablePlanLint(o);
         return makeCapuchinPolicy(o);
@@ -170,6 +180,12 @@ usage()
         "                     else CSV); implies --obs-level metrics\n"
         "  --obs-selfcheck    run the workload at every obs level and\n"
         "                     report the observability overhead\n"
+        "  --faults <spec>    capuchaos fault plan, e.g.\n"
+        "                     \"pcie:0.5@2000-4000;jitter:0.1;hostcap:8GiB;"
+        "swapfail:p=0.01,retries=3\"\n"
+        "                     (@<file> reads the spec from a file)\n"
+        "  --seed <n>         RNG seed for fault injection (default 0);\n"
+        "                     recorded in metrics and trace metadata\n"
         "  --quiet            suppress informational log output\n"
         "  --verbose          force informational log output on\n"
         "  --list             print models and policies\n";
@@ -218,6 +234,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsFile = next();
         else if (a == "--obs-selfcheck")
             opt.obsSelfcheck = true;
+        else if (a == "--faults")
+            opt.faults = next();
+        else if (a == "--seed")
+            opt.seed = std::strtoull(next(), nullptr, 10);
         else if (a == "--quiet")
             setLogEnabled(false);
         else if (a == "--verbose")
@@ -268,6 +288,19 @@ main(int argc, char **argv)
         cfg.device = deviceByName(opt.device);
         cfg.eagerMode = opt.eager;
         cfg.obsLevel = opt.obsLevel;
+        cfg.seed = opt.seed;
+        std::string spec_text = opt.faults;
+        if (!spec_text.empty() && spec_text[0] == '@') {
+            std::ifstream f(spec_text.substr(1));
+            if (!f)
+                fatal("cannot read fault spec file '{}'",
+                      spec_text.substr(1));
+            std::stringstream ss;
+            ss << f.rdbuf();
+            spec_text = ss.str();
+        }
+        cfg.faults = faults::parseFaultSpec(spec_text);
+        const bool faults_on = cfg.faults.enabled();
 
         if (opt.obsSelfcheck) {
             // Self-measurement: run the same workload at every obs level,
@@ -286,7 +319,7 @@ main(int argc, char **argv)
                 // Untimed warm-up so the first timed run does not pay
                 // allocator/page-cache cold-start.
                 Session warm(buildByName(opt.model, opt.batch), cfg,
-                             policyByName(opt.policy, opt.lint));
+                             policyByName(opt.policy, opt.lint, faults_on));
                 (void)warm.run(1);
             }
             for (auto level : {obs::ObsLevel::Off, obs::ObsLevel::Metrics,
@@ -294,7 +327,7 @@ main(int argc, char **argv)
                 ExecConfig c = cfg;
                 c.obsLevel = level;
                 Session s(buildByName(opt.model, opt.batch), c,
-                          policyByName(opt.policy, opt.lint));
+                          policyByName(opt.policy, opt.lint, faults_on));
                 auto t0 = std::chrono::steady_clock::now();
                 auto rr = s.run(opt.iterations);
                 auto t1 = std::chrono::steady_clock::now();
@@ -337,7 +370,7 @@ main(int argc, char **argv)
         if (opt.findMax) {
             auto mb = findMaxBatch(
                 [&](std::int64_t b) { return buildByName(opt.model, b); },
-                [&] { return policyByName(opt.policy, opt.lint); }, cfg);
+                [&] { return policyByName(opt.policy, opt.lint, faults_on); }, cfg);
             std::cout << "max batch for " << opt.model << " under "
                       << opt.policy << (opt.eager ? " (eager)" : "")
                       << ": " << mb << "\n";
@@ -362,7 +395,7 @@ main(int argc, char **argv)
         }
 
         Session session(buildByName(opt.model, opt.batch), cfg,
-                        policyByName(opt.policy, opt.lint));
+                        policyByName(opt.policy, opt.lint, faults_on));
         auto r = session.run(opt.iterations);
 
         // Export observability artifacts even on OOM — a truncated trace
@@ -403,9 +436,24 @@ main(int argc, char **argv)
             }
             t.print(std::cout);
         }
+        if (faults_on) {
+            const faults::FaultStats &fs =
+                session.executor().faultEngine().stats();
+            std::cout << "chaos: degraded_transfers=" << fs.degradedTransfers
+                      << " jittered_kernels=" << fs.jitteredKernels
+                      << " host_rejects=" << fs.hostRejects
+                      << " swap_failures=" << fs.swapAttemptFailures
+                      << " swap_retries=" << fs.swapRetries
+                      << " swap_forced=" << fs.swapForced
+                      << " drop_fallbacks=" << fs.dropFallbacks
+                      << " prefetch_misses=" << fs.prefetchMisses
+                      << " remeasures=" << fs.remeasures
+                      << " feedback_shifts=" << fs.feedbackShifts << "\n";
+        }
         if (r.oom) {
             std::cout << "OOM after " << r.iterations.size()
                       << " iterations: " << r.oomMessage << "\n";
+            std::cout << r.postMortem() << "\n";
             return 2;
         }
         return 0;
