@@ -14,6 +14,7 @@
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "analysis/lint_hooks.hh"
 #include "bench/common.hh"
@@ -84,62 +85,101 @@ recoverySummary(const faults::FaultStats &fs)
 
 } // namespace
 
+/** One (workload, fault plan) cell, computed independently of the rest. */
+struct CellResult
+{
+    bool oom = false;
+    bool faulted = false;
+    double wall = 0.0; ///< simulated seconds — host scheduling can't move it
+    std::string recovery;
+    std::string postMortem;
+};
+
+CellResult
+runCell(const Workload &w, const FaultPlanRow &p)
+{
+    ExecConfig cfg;
+    cfg.faults = faults::parseFaultSpec(p.spec);
+    cfg.seed = 42;
+    CapuchinOptions opts;
+    // Lint stays fatal on the clean baseline; under injected
+    // faults plan-level findings (e.g. host staging overcommit
+    // against a capped pool) are the expected inputs to the
+    // degradation paths, so the hook only observes.
+    LintHookOptions hook;
+    hook.panicOnError = !cfg.faults.enabled();
+    hook.printFindings = false;
+    enablePlanLint(opts, hook);
+    if (cfg.faults.enabled())
+        opts.driftThreshold = 0.35; // arm the drift watchdog
+    Session session(buildModel(w.kind, w.batch), cfg,
+                    makeCapuchinPolicy(opts));
+    auto r = session.run(kIterations);
+
+    CellResult cell;
+    cell.faulted = cfg.faults.enabled();
+    if (r.oom) {
+        cell.oom = true;
+        cell.postMortem = r.postMortem();
+        return cell;
+    }
+    cell.wall = ticksToSec(r.iterations.back().end -
+                           r.iterations.front().begin);
+    cell.recovery =
+        recoverySummary(session.executor().faultEngine().stats());
+    return cell;
+}
+
 int
 main()
 {
     banner("Chaos sweep: model zoo x fault plans (Capuchin, plan lint on)",
            "robustness matrix, DESIGN.md §9");
 
+    // Every cell is an independent (model, fault plan) simulation whose
+    // "wall" time is *simulated* ticks, so the matrix fans out across the
+    // worker pool and the serial pass below only formats. Results land in
+    // index-addressed slots; the printed table is identical at any thread
+    // count.
+    constexpr std::size_t kNumPlans = std::size(kPlans);
+    constexpr std::size_t kNumZoo = std::size(kZoo);
+    auto cells = sweepParallel(kNumZoo * kNumPlans, [&](std::size_t i) {
+        return runCell(kZoo[i / kNumPlans], kPlans[i % kNumPlans]);
+    });
+
     Table t({"model", "plan", "completed", "slowdown", "recovery"});
     bool ok = true;
 
-    for (const Workload &w : kZoo) {
+    for (std::size_t zi = 0; zi < kNumZoo; ++zi) {
+        const Workload &w = kZoo[zi];
         double base_wall = 0.0;
-        for (const FaultPlanRow &p : kPlans) {
-            ExecConfig cfg;
-            cfg.faults = faults::parseFaultSpec(p.spec);
-            cfg.seed = 42;
-            CapuchinOptions opts;
-            // Lint stays fatal on the clean baseline; under injected
-            // faults plan-level findings (e.g. host staging overcommit
-            // against a capped pool) are the expected inputs to the
-            // degradation paths, so the hook only observes.
-            LintHookOptions hook;
-            hook.panicOnError = !cfg.faults.enabled();
-            hook.printFindings = false;
-            enablePlanLint(opts, hook);
-            if (cfg.faults.enabled())
-                opts.driftThreshold = 0.35; // arm the drift watchdog
-            Session session(buildModel(w.kind, w.batch), cfg,
-                            makeCapuchinPolicy(opts));
-            auto r = session.run(kIterations);
+        for (std::size_t pi = 0; pi < kNumPlans; ++pi) {
+            const FaultPlanRow &p = kPlans[pi];
+            const CellResult &cell = cells[zi * kNumPlans + pi];
 
             std::string name = std::string(modelName(w.kind)) + "@" +
                                std::to_string(w.batch);
-            if (r.oom) {
+            if (cell.oom) {
                 ok = false;
                 t.addRow({name, p.label, "OOM", "-", "-"});
                 std::cerr << "\nunhandled OOM under plan '" << p.label
                           << "':\n"
-                          << r.postMortem() << "\n";
+                          << cell.postMortem << "\n";
                 continue;
             }
 
-            double wall = ticksToSec(r.iterations.back().end -
-                                     r.iterations.front().begin);
             std::string slowdown = "1.00x";
-            if (!cfg.faults.enabled()) {
-                base_wall = wall;
+            if (!cell.faulted) {
+                base_wall = cell.wall;
             } else if (base_wall > 0.0) {
-                double ratio = wall / base_wall;
+                double ratio = cell.wall / base_wall;
                 slowdown = cellDouble(ratio, 2) + "x";
                 if (ratio > kSlowdownBound) {
                     ok = false;
                     slowdown += " (UNBOUNDED)";
                 }
             }
-            const auto &fs = session.executor().faultEngine().stats();
-            t.addRow({name, p.label, "yes", slowdown, recoverySummary(fs)});
+            t.addRow({name, p.label, "yes", slowdown, cell.recovery});
         }
     }
 

@@ -12,6 +12,7 @@
 #ifndef CAPU_BENCH_COMMON_HH
 #define CAPU_BENCH_COMMON_HH
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "stats/table.hh"
 #include "stats/timeline.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace capu::bench
 {
@@ -90,6 +92,41 @@ maxBatch(ModelKind kind, System sys, const ExecConfig &cfg = {})
     return findMaxBatch(
         [kind](std::int64_t b) { return buildModel(kind, b); },
         [sys] { return makePolicy(sys); }, cfg, 3, 1, 4096);
+}
+
+/**
+ * Worker count for bench sweeps: the CAPU_BENCH_THREADS environment
+ * variable overrides the hardware default (set it to 1 to force a
+ * serial sweep, e.g. when bisecting a single cell).
+ */
+inline unsigned
+benchThreads()
+{
+    if (const char *env = std::getenv("CAPU_BENCH_THREADS")) {
+        long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return ThreadPool::defaultThreads();
+}
+
+/**
+ * Evaluate job(0) .. job(n-1) across a worker pool and return the
+ * results in index order. Each job owns its Session and Graph — cells
+ * share no mutable state — so parallelism reorders only wall-clock
+ * completion, never a result: the printed tables are identical at any
+ * thread count, including CAPU_BENCH_THREADS=1 (fully serial).
+ */
+template <typename Job>
+auto
+sweepParallel(std::size_t n, Job job)
+    -> std::vector<decltype(job(std::size_t{}))>
+{
+    using R = decltype(job(std::size_t{}));
+    std::vector<R> out(n);
+    ThreadPool pool(benchThreads());
+    pool.forEachIndex(n, [&](std::size_t i) { out[i] = job(i); });
+    return out;
 }
 
 /** "x.xx" ratio cell, guarding division by zero. */

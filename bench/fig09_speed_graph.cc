@@ -46,24 +46,47 @@ main()
     banner("Training speed vs batch size, graph mode (six models)",
            "Figure 9 (a-f)");
 
+    // Flatten the (model, batch, system) cube into independent cells and
+    // fan them out across the worker pool; each cell runs its own Session
+    // so results are identical at any thread count. The serial loop below
+    // only formats.
+    const System kSystems[] = {System::TfOri, System::Vdnn,
+                               System::OpenAiM, System::OpenAiS,
+                               System::Capuchin};
+    struct CellJob
+    {
+        const Sweep *sweep;
+        std::int64_t batch;
+        System sys;
+    };
+    std::vector<CellJob> jobs;
+    for (const Sweep &sweep : kSweeps) {
+        for (std::int64_t batch : sweep.batches) {
+            for (System sys : kSystems)
+                jobs.push_back(CellJob{&sweep, batch, sys});
+        }
+    }
+    auto cells = sweepParallel(jobs.size(), [&](std::size_t i) {
+        const CellJob &job = jobs[i];
+        if (job.sweep->kind == ModelKind::BertBase &&
+            job.sys == System::Vdnn)
+            return std::string("-");
+        int iters = job.sys == System::Capuchin ? 16 : 6;
+        int skip = job.sys == System::Capuchin ? 10 : 3;
+        double v = steadySpeed(job.sweep->kind, job.batch, job.sys, {},
+                               iters, skip);
+        return v > 0 ? cellDouble(v, 1) : std::string("OOM");
+    });
+
+    std::size_t next = 0;
     for (const Sweep &sweep : kSweeps) {
         std::cout << "--- " << modelName(sweep.kind) << " ---\n";
         Table t({"batch", "TF-ori", "vDNN", "OpenAI-M", "OpenAI-S",
                  "Capuchin"});
         for (std::int64_t batch : sweep.batches) {
-            auto cell = [&](System sys) {
-                if (sweep.kind == ModelKind::BertBase &&
-                    sys == System::Vdnn)
-                    return std::string("-");
-                int iters = sys == System::Capuchin ? 16 : 6;
-                int skip = sys == System::Capuchin ? 10 : 3;
-                double v = steadySpeed(sweep.kind, batch, sys, {}, iters,
-                                       skip);
-                return v > 0 ? cellDouble(v, 1) : std::string("OOM");
-            };
-            t.addRow({cellInt(batch), cell(System::TfOri),
-                      cell(System::Vdnn), cell(System::OpenAiM),
-                      cell(System::OpenAiS), cell(System::Capuchin)});
+            t.addRow({cellInt(batch), cells[next], cells[next + 1],
+                      cells[next + 2], cells[next + 3], cells[next + 4]});
+            next += 5;
         }
         t.print(std::cout);
         std::cout << "\n";

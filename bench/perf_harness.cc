@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Self-timing perf harness + regression gate (BENCH_perf.json).
+ *
+ * Measures the hot paths this repo optimises, per zoo model:
+ *
+ *  - plan derivation: PolicyMaker::build with the incremental Algorithm-2
+ *    engine vs the reference full-rescan loop, on a tracker filled by a
+ *    real measured iteration at an oversubscribed batch. The two plans
+ *    are asserted byte-identical before any timing is reported.
+ *  - simulation throughput: executed schedule steps per wall second for
+ *    a Capuchin-managed training run.
+ *  - allocator latency: ns per BfcAllocator allocate/deallocate over a
+ *    deterministic mixed small/large workload.
+ *  - sweep parallelism: wall time of a zoo mini-sweep serial vs on the
+ *    work-stealing pool (reported only; the speedup gate applies when
+ *    >= 4 workers are available).
+ *
+ * Timings are median-of-N (--repeat). A calibration spin — a fixed
+ * integer workload timed on the same machine — is recorded next to the
+ * metrics so the regression gate can compare *machine-normalized* times:
+ * with --baseline FILE the harness fails (exit 1) when a gated metric,
+ * divided by its run's calibration time, exceeds 2x the baseline's
+ * normalized value. The tolerance is deliberately generous: this gate
+ * catches algorithmic regressions (an accidental O(n^2) rescan), not
+ * noise.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/policy_maker.hh"
+#include "memory/bfc_allocator.hh"
+
+using namespace capu;
+using namespace capu::bench;
+
+namespace
+{
+
+struct Options
+{
+    bool quick = false;
+    int repeat = 3;
+    unsigned threads = 0; ///< 0 = benchThreads()
+    std::string out = "BENCH_perf.json";
+    std::string baseline;
+};
+
+/** Oversubscribed batches: passive mode must evict, so the tracker and
+ *  measured-eviction target feed PolicyMaker a non-trivial problem. */
+struct ModelCase
+{
+    ModelKind kind;
+    std::int64_t batch;
+};
+
+const ModelCase kCases[] = {
+    {ModelKind::Vgg16, 260},       {ModelKind::ResNet50, 240},
+    {ModelKind::ResNet152, 110},   {ModelKind::InceptionV3, 210},
+    {ModelKind::InceptionV4, 120}, {ModelKind::DenseNet121, 200},
+    {ModelKind::BertBase, 110},
+};
+
+const ModelCase kQuickCases[] = {
+    {ModelKind::Vgg16, 260},
+    {ModelKind::ResNet50, 240},
+};
+
+double
+nowMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Median of the collected samples (sorted copy; even count averages). */
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+/**
+ * Calibration spin: a fixed xorshift64 integer workload. Its wall time
+ * scales with single-core speed the same way the plan/sim loops do, so
+ * metric / spin is comparable across machines (and across Debug-ish
+ * compiler updates) in a way raw milliseconds are not.
+ */
+double
+calibrationSpinMs()
+{
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    volatile std::uint64_t sink = 0;
+    double t0 = nowMs();
+    for (int i = 0; i < 50'000'000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    sink = x;
+    (void)sink;
+    return nowMs() - t0;
+}
+
+bool
+itemsEqual(const PlannedEviction &a, const PlannedEviction &b)
+{
+    return a.tensor == b.tensor && a.mode == b.mode && a.bytes == b.bytes &&
+           a.evictAfterAccess == b.evictAfterAccess &&
+           a.backAccess == b.backAccess && a.evictTime == b.evictTime &&
+           a.backTime == b.backTime && a.swapTime == b.swapTime &&
+           a.freeTime == b.freeTime &&
+           a.desiredSwapInStart == b.desiredSwapInStart &&
+           a.triggerTensor == b.triggerTensor &&
+           a.triggerAccess == b.triggerAccess &&
+           a.recomputeTime == b.recomputeTime &&
+           a.estimatedOverhead == b.estimatedOverhead;
+}
+
+bool
+plansEqual(const Plan &a, const Plan &b)
+{
+    if (a.items.size() != b.items.size() ||
+        a.targetBytes != b.targetBytes ||
+        a.plannedBytes != b.plannedBytes || a.swapCount != b.swapCount ||
+        a.recomputeCount != b.recomputeCount)
+        return false;
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+        if (!itemsEqual(a.items[i], b.items[i]))
+            return false;
+    }
+    return true;
+}
+
+struct ModelResult
+{
+    std::string name;
+    std::int64_t batch = 0;
+    double planRefMs = 0;
+    double planIncMs = 0;
+    std::size_t planItems = 0;
+    bool plansEqual = true;
+    double simWallMs = 0;
+    double simStepsPerSec = 0;
+};
+
+/**
+ * One model's measurements. The Session run supplies three things at
+ * once: the measured tracker + eviction target PolicyMaker needs, the
+ * sim-throughput sample, and proof the batch actually oversubscribes.
+ */
+ModelResult
+runModel(const ModelCase &mc, const Options &opt)
+{
+    ModelResult res;
+    res.name = modelName(mc.kind);
+    res.batch = mc.batch;
+
+    ExecConfig cfg;
+    CapuchinOptions copts;
+    Session session(buildModel(mc.kind, mc.batch), cfg,
+                    makeCapuchinPolicy(copts));
+    const int iters = opt.quick ? 2 : 3;
+    double t0 = nowMs();
+    auto r = session.run(iters);
+    res.simWallMs = nowMs() - t0;
+    if (r.oom) {
+        std::cerr << res.name << "@" << mc.batch
+                  << ": unexpected OOM\n" << r.postMortem() << "\n";
+        res.plansEqual = false;
+        return res;
+    }
+    Executor &ex = session.executor();
+    res.simStepsPerSec = res.simWallMs > 0
+                             ? static_cast<double>(ex.schedule().size()) *
+                                   iters / (res.simWallMs / 1000.0)
+                             : 0;
+
+    auto *capu = dynamic_cast<CapuchinPolicy *>(session.policy());
+    if (capu == nullptr || !capu->planBuilt()) {
+        std::cerr << res.name << ": no plan was built (batch not "
+                     "oversubscribed?)\n";
+        res.plansEqual = false;
+        return res;
+    }
+
+    // Rebuild the plan standalone, with the exact inputs
+    // CapuchinPolicy::buildPlan uses, under both engines.
+    auto target = static_cast<std::uint64_t>(
+        static_cast<double>(capu->measuredEvictedBytes()) *
+        copts.savingMargin);
+    auto bytes_fn = [&](TensorId id) { return ex.tensorBytes(id); };
+    auto swap_fn = [&](std::uint64_t b) { return ex.swapTime(b); };
+
+    Plan ref_plan, inc_plan;
+    std::vector<double> ref_ms, inc_ms;
+    for (int i = 0; i < opt.repeat; ++i) {
+        PolicyMakerOptions pmo;
+        pmo.incremental = false;
+        PolicyMaker ref_maker(session.graph(), capu->tracker(), pmo);
+        double a = nowMs();
+        ref_plan =
+            ref_maker.build(target, bytes_fn, swap_fn, ex.gpuCapacity());
+        ref_ms.push_back(nowMs() - a);
+
+        pmo.incremental = true;
+        PolicyMaker inc_maker(session.graph(), capu->tracker(), pmo);
+        a = nowMs();
+        inc_plan =
+            inc_maker.build(target, bytes_fn, swap_fn, ex.gpuCapacity());
+        inc_ms.push_back(nowMs() - a);
+    }
+    res.planRefMs = median(ref_ms);
+    res.planIncMs = median(inc_ms);
+    res.planItems = inc_plan.items.size();
+    res.plansEqual = plansEqual(ref_plan, inc_plan);
+    if (!res.plansEqual)
+        std::cerr << res.name << ": INCREMENTAL PLAN DIVERGES FROM "
+                     "REFERENCE\n  ref: " << ref_plan.summary()
+                  << "\n  inc: " << inc_plan.summary() << "\n";
+    return res;
+}
+
+struct SweepResult
+{
+    unsigned threads = 1;
+    double serialMs = 0;
+    double parallelMs = 0;
+    double speedup = 1.0;
+};
+
+/**
+ * Parallel-sweep speedup: the same cell list run serially, then on the
+ * pool. Cells are small independent sims (the pattern every bench
+ * sweep uses), so this measures pool overhead + scaling, not model
+ * size.
+ */
+SweepResult
+runSweep(unsigned threads, bool quick)
+{
+    SweepResult res;
+    res.threads = threads;
+    const std::size_t n = std::max<std::size_t>(8, 2 * threads);
+    auto cell = [&](std::size_t i) {
+        ModelKind kind =
+            i % 2 ? ModelKind::ResNet50 : ModelKind::Vgg16;
+        Session session(buildModel(kind, 32), ExecConfig{},
+                        makeNoOpPolicy());
+        auto r = session.run(quick ? 1 : 2);
+        return r.oom ? 0.0 : r.steadyThroughput(32, 0);
+    };
+
+    std::vector<double> serial(n), par(n);
+    double t0 = nowMs();
+    for (std::size_t i = 0; i < n; ++i)
+        serial[i] = cell(i);
+    res.serialMs = nowMs() - t0;
+
+    t0 = nowMs();
+    {
+        ThreadPool pool(threads);
+        pool.forEachIndex(n, [&](std::size_t i) { par[i] = cell(i); });
+    }
+    res.parallelMs = nowMs() - t0;
+    res.speedup =
+        res.parallelMs > 0 ? res.serialMs / res.parallelMs : 1.0;
+    if (serial != par)
+        std::cerr << "SWEEP RESULTS DIVERGE between serial and parallel "
+                     "runs\n";
+    return res;
+}
+
+struct AllocResult
+{
+    double nsPerOp = 0;
+    std::uint64_t ops = 0;
+};
+
+/**
+ * Deterministic allocator churn: a sliding window of live allocations
+ * with xorshift-chosen sizes spanning both the small best-fit path and
+ * the large (segregated, high-address) path, plus periodic frees that
+ * force coalescing.
+ */
+AllocResult
+runAllocator(bool quick)
+{
+    AllocResult res;
+    BfcAllocator alloc(16ull << 30);
+    std::vector<MemHandle> live;
+    live.reserve(4096);
+    std::uint64_t x = 0x2545f4914f6cdd1dull;
+    auto rnd = [&] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    const std::uint64_t target_ops = quick ? 50'000 : 400'000;
+    std::uint64_t ops = 0;
+    double t0 = nowMs();
+    while (ops < target_ops) {
+        std::uint64_t r = rnd();
+        bool do_free = !live.empty() && (live.size() > 2048 || (r & 7) == 0);
+        if (do_free) {
+            std::size_t idx = rnd() % live.size();
+            alloc.deallocate(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+            ++ops;
+            continue;
+        }
+        // 1-in-16 large (64..320 MiB), else small (4 KiB..4 MiB).
+        std::uint64_t bytes =
+            (r & 15) == 0 ? (64ull << 20) + (rnd() % (256ull << 20))
+                          : (4ull << 10) + (rnd() % (4ull << 20));
+        auto h = alloc.allocate(bytes);
+        if (h)
+            live.push_back(*h);
+        else if (!live.empty()) {
+            alloc.deallocate(live.back());
+            live.pop_back();
+        }
+        ++ops;
+    }
+    double wall = nowMs() - t0;
+    alloc.checkInvariants();
+    res.ops = ops;
+    res.nsPerOp = ops > 0 ? wall * 1e6 / static_cast<double>(ops) : 0;
+    return res;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+/** Scan `text` for `"key": <number>`; returns false when absent. */
+bool
+findJsonNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < text.size() && text[pos] == ' ')
+        ++pos;
+    try {
+        out = std::stod(text.substr(pos));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "usage: perf_harness [options]\n"
+        "  --quick           small model subset, short loops (CI smoke)\n"
+        "  --repeat N        median-of-N timing samples (default 3)\n"
+        "  --threads N       worker count for the sweep measurement\n"
+        "  --out FILE        write BENCH_perf.json here (default ./)\n"
+        "  --baseline FILE   compare against a previous BENCH_perf.json;\n"
+        "                    exit 1 when a calibration-normalized metric\n"
+        "                    regresses by more than 2x\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick")
+            opt.quick = true;
+        else if (arg == "--repeat")
+            opt.repeat = std::max(1, std::atoi(next()));
+        else if (arg == "--threads")
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--out")
+            opt.out = next();
+        else if (arg == "--baseline")
+            opt.baseline = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+    if (opt.threads == 0)
+        opt.threads = benchThreads();
+
+    banner("Hot-path perf harness (plan / sim / allocator / sweep)",
+           "capuspeed regression gate");
+
+    double calib_ms = calibrationSpinMs();
+    std::cout << "calibration spin: " << cellDouble(calib_ms, 1)
+              << " ms  (threads=" << opt.threads
+              << ", repeat=" << opt.repeat
+              << (opt.quick ? ", quick" : "") << ")\n\n";
+
+    const ModelCase *cases = opt.quick ? kQuickCases : kCases;
+    std::size_t n_cases =
+        opt.quick ? std::size(kQuickCases) : std::size(kCases);
+
+    bool ok = true;
+    std::vector<ModelResult> models;
+    Table t({"model", "batch", "plan ref (ms)", "plan incr (ms)",
+             "speedup", "items", "equal", "sim steps/s"});
+    for (std::size_t i = 0; i < n_cases; ++i) {
+        ModelResult res = runModel(cases[i], opt);
+        ok = ok && res.plansEqual;
+        t.addRow({res.name, cellInt(res.batch),
+                  cellDouble(res.planRefMs, 2),
+                  cellDouble(res.planIncMs, 2),
+                  ratioCell(res.planRefMs, res.planIncMs),
+                  cellInt(static_cast<std::int64_t>(res.planItems)),
+                  res.plansEqual ? "yes" : "NO",
+                  cellDouble(res.simStepsPerSec, 0)});
+        models.push_back(std::move(res));
+    }
+    t.print(std::cout);
+
+    AllocResult alloc = runAllocator(opt.quick);
+    std::cout << "\nallocator: " << cellDouble(alloc.nsPerOp, 1)
+              << " ns/op over " << alloc.ops << " alloc/free ops\n";
+
+    SweepResult sweep = runSweep(opt.threads, opt.quick);
+    std::cout << "sweep: serial " << cellDouble(sweep.serialMs, 0)
+              << " ms, parallel " << cellDouble(sweep.parallelMs, 0)
+              << " ms on " << sweep.threads << " threads -> "
+              << cellDouble(sweep.speedup, 2) << "x\n";
+    if (sweep.threads >= 4 && sweep.speedup < 2.0) {
+        std::cerr << "PARALLEL SWEEP SPEEDUP BELOW 2x with "
+                  << sweep.threads << " workers\n";
+        ok = false;
+    }
+
+    // ---- BENCH_perf.json -------------------------------------------------
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"schema\": \"capu-perf-v1\",\n"
+       << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+       << "  \"repeat\": " << opt.repeat << ",\n"
+       << "  \"threads\": " << opt.threads << ",\n"
+       << "  \"calib_ms\": " << jsonNum(calib_ms) << ",\n"
+       << "  \"models\": [\n";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const ModelResult &m = models[i];
+        js << "    {\"model\": \"" << m.name << "\", \"batch\": "
+           << m.batch << ", \"plan_ref_ms\": " << jsonNum(m.planRefMs)
+           << ", \"plan_inc_ms\": " << jsonNum(m.planIncMs)
+           << ", \"plan_speedup\": "
+           << jsonNum(m.planIncMs > 0 ? m.planRefMs / m.planIncMs : 0)
+           << ", \"plan_items\": " << m.planItems
+           << ", \"plans_equal\": " << (m.plansEqual ? "true" : "false")
+           << ", \"sim_wall_ms\": " << jsonNum(m.simWallMs)
+           << ", \"sim_steps_per_sec\": " << jsonNum(m.simStepsPerSec)
+           << "}" << (i + 1 < models.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n"
+       << "  \"allocator\": {\"ns_per_op\": " << jsonNum(alloc.nsPerOp)
+       << ", \"ops\": " << alloc.ops << "},\n"
+       << "  \"sweep\": {\"threads\": " << sweep.threads
+       << ", \"serial_ms\": " << jsonNum(sweep.serialMs)
+       << ", \"parallel_ms\": " << jsonNum(sweep.parallelMs)
+       << ", \"speedup\": " << jsonNum(sweep.speedup) << "},\n";
+    // Flat gate metrics: "time-like, lower is better" keys the baseline
+    // comparison scans for by name.
+    js << "  \"gate\": {";
+    bool first = true;
+    auto gate = [&](const std::string &key, double v) {
+        js << (first ? "" : ", ") << "\"" << key << "\": " << jsonNum(v);
+        first = false;
+    };
+    for (const ModelResult &m : models) {
+        gate("plan_inc_ms_" + m.name, m.planIncMs);
+        gate("sim_wall_ms_" + m.name, m.simWallMs);
+    }
+    gate("alloc_ns_per_op", alloc.nsPerOp);
+    js << "}\n}\n";
+
+    std::ofstream out(opt.out);
+    out << js.str();
+    out.close();
+    std::cout << "\nwrote " << opt.out << "\n";
+
+    // ---- regression gate -------------------------------------------------
+    if (!opt.baseline.empty()) {
+        std::ifstream in(opt.baseline);
+        if (!in) {
+            std::cerr << "cannot read baseline " << opt.baseline << "\n";
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string base = buf.str();
+
+        double base_calib = 0;
+        if (!findJsonNumber(base, "calib_ms", base_calib) ||
+            base_calib <= 0) {
+            std::cerr << "baseline has no calibration spin; cannot "
+                         "normalize\n";
+            return 1;
+        }
+        // Re-scan the freshly written gate keys against the baseline.
+        std::string cur = js.str();
+        auto gate_start = cur.find("\"gate\"");
+        std::string gate_blob = cur.substr(gate_start);
+        std::size_t checked = 0;
+        std::size_t scan = 0;
+        for (;;) {
+            auto open = gate_blob.find('"', scan);
+            if (open == std::string::npos)
+                break;
+            auto close = gate_blob.find('"', open + 1);
+            if (close == std::string::npos)
+                break;
+            std::string key = gate_blob.substr(open + 1, close - open - 1);
+            scan = close + 1;
+            if (key == "gate")
+                continue;
+            double cur_v = 0, base_v = 0;
+            if (!findJsonNumber(cur, key, cur_v))
+                continue;
+            if (!findJsonNumber(base, key, base_v))
+                continue; // metric new in this run: no baseline to gate on
+            ++checked;
+            // Normalize by each run's calibration spin; sub-millisecond
+            // metrics are all noise, skip them.
+            if (cur_v < 1.0 || base_v < 1.0)
+                continue;
+            double cur_norm = cur_v / calib_ms;
+            double base_norm = base_v / base_calib;
+            if (cur_norm > 2.0 * base_norm) {
+                std::cerr << "PERF REGRESSION: " << key << " = "
+                          << cellDouble(cur_v, 2) << " ms (normalized "
+                          << cellDouble(cur_norm, 3) << ") vs baseline "
+                          << cellDouble(base_v, 2) << " (normalized "
+                          << cellDouble(base_norm, 3) << "), > 2x\n";
+                ok = false;
+            }
+        }
+        std::cout << "baseline gate: checked " << checked
+                  << " metrics against " << opt.baseline
+                  << (ok ? " -- ok\n" : " -- FAILED\n");
+    }
+
+    if (!ok) {
+        std::cout << "\nPERF HARNESS FAILED (see messages above)\n";
+        return 1;
+    }
+    return 0;
+}

@@ -40,17 +40,40 @@ main()
     Table t({"model", "TF-ori", "vDNN", "OpenAI", "Capuchin",
              "Capuchin/TF", "paper (TF/vDNN/OpenAI/Capu)"});
 
+    // Each (model, system) max-batch search is independent; fan the 5
+    // searches per model out across the worker pool and assemble rows
+    // from the index-ordered results below.
+    auto models = graphModeModels();
+    struct SearchJob
+    {
+        ModelKind kind;
+        System sys;
+        bool skip;
+    };
+    std::vector<SearchJob> jobs;
+    for (ModelKind kind : models) {
+        for (System sys : {System::TfOri, System::Vdnn, System::OpenAiM,
+                           System::OpenAiS, System::Capuchin}) {
+            bool skip = kind == ModelKind::BertBase && sys == System::Vdnn;
+            jobs.push_back(SearchJob{kind, sys, skip});
+        }
+    }
+    auto found = sweepParallel(jobs.size(), [&](std::size_t i) {
+        return jobs[i].skip
+                   ? std::int64_t(0)
+                   : maxBatch(jobs[i].kind, jobs[i].sys);
+    });
+
     double ratio_sum = 0;
     double ratio_max = 0;
     int n = 0;
-    for (ModelKind kind : graphModeModels()) {
-        std::int64_t tf = maxBatch(kind, System::TfOri);
-        std::int64_t vdnn = kind == ModelKind::BertBase
-                                ? 0
-                                : maxBatch(kind, System::Vdnn);
-        std::int64_t oai = std::max(maxBatch(kind, System::OpenAiM),
-                                    maxBatch(kind, System::OpenAiS));
-        std::int64_t capu = maxBatch(kind, System::Capuchin);
+    std::size_t row = 0;
+    for (ModelKind kind : models) {
+        std::int64_t tf = found[row];
+        std::int64_t vdnn = found[row + 1];
+        std::int64_t oai = std::max(found[row + 2], found[row + 3]);
+        std::int64_t capu = found[row + 4];
+        row += 5;
 
         double ratio = tf > 0 ? static_cast<double>(capu) / tf : 0;
         ratio_sum += ratio;

@@ -12,12 +12,15 @@ AccessTracker::reset()
     seq_.clear();
     perTensor_.clear();
     opTimes_.clear();
+    timeIndex_.clear();
+    timeIndexDirty_ = true;
 }
 
 void
 AccessTracker::record(const AccessRecord &rec)
 {
     seq_.push_back(rec);
+    timeIndexDirty_ = true;
     perTensor_[rec.tensor].push_back(rec);
     if (rec.op != kInvalidOp) {
         OpTimes &ot = opTimes_[rec.op];
@@ -101,6 +104,81 @@ AccessTracker::hypotheticalPeak(
     const std::function<std::uint64_t(TensorId)> &bytes) const
 {
     return peakWindow(bytes, ~0ull >> 1).peakBytes;
+}
+
+void
+AccessTracker::ensureTimeIndex() const
+{
+    if (!timeIndexDirty_)
+        return;
+    timeIndex_.clear();
+    timeIndex_.reserve(seq_.size());
+    for (std::size_t i = 0; i < seq_.size(); ++i)
+        timeIndex_.emplace_back(seq_[i].time,
+                                static_cast<std::uint32_t>(i));
+    std::sort(timeIndex_.begin(), timeIndex_.end());
+    timeIndexDirty_ = false;
+}
+
+const AccessRecord *
+AccessTracker::latestAtOrBefore(Tick after, Tick before, Tick at_or_before,
+                                TensorId exclude) const
+{
+    if (before == 0)
+        return nullptr;
+    ensureTimeIndex();
+    Tick cap = std::min(at_or_before, before - 1);
+    auto it = std::upper_bound(
+        timeIndex_.begin(), timeIndex_.end(),
+        std::pair<Tick, std::uint32_t>{cap, ~std::uint32_t(0)});
+    std::size_t pos = static_cast<std::size_t>(it - timeIndex_.begin());
+    // Walk time groups downward; the first group with a non-excluded
+    // record wins, and within a group the lowest sequence position wins
+    // (matching the old scan's first-occurrence-of-max-time behaviour).
+    while (pos > 0) {
+        Tick t = timeIndex_[pos - 1].first;
+        if (t <= after)
+            break;
+        std::size_t gs = pos;
+        while (gs > 0 && timeIndex_[gs - 1].first == t)
+            --gs;
+        for (std::size_t k = gs; k < pos; ++k) {
+            const AccessRecord &r = seq_[timeIndex_[k].second];
+            if (r.tensor != exclude)
+                return &r;
+        }
+        pos = gs;
+    }
+    return nullptr;
+}
+
+const AccessRecord *
+AccessTracker::earliestWithin(Tick after, Tick before,
+                              TensorId exclude) const
+{
+    if (before == 0)
+        return nullptr;
+    ensureTimeIndex();
+    auto it = std::upper_bound(
+        timeIndex_.begin(), timeIndex_.end(),
+        std::pair<Tick, std::uint32_t>{after, ~std::uint32_t(0)});
+    std::size_t pos = static_cast<std::size_t>(it - timeIndex_.begin());
+    const std::size_t n = timeIndex_.size();
+    while (pos < n) {
+        Tick t = timeIndex_[pos].first;
+        if (t >= before)
+            break;
+        std::size_t ge = pos;
+        while (ge < n && timeIndex_[ge].first == t)
+            ++ge;
+        for (std::size_t k = pos; k < ge; ++k) {
+            const AccessRecord &r = seq_[timeIndex_[k].second];
+            if (r.tensor != exclude)
+                return &r;
+        }
+        pos = ge;
+    }
+    return nullptr;
 }
 
 } // namespace capu

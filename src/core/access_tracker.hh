@@ -82,11 +82,36 @@ class AccessTracker
     std::uint64_t hypotheticalPeak(
         const std::function<std::uint64_t(TensorId)> &bytes) const;
 
+    /**
+     * Latest access with `after < time < before`, `time <= at_or_before`
+     * and tensor != exclude; among equal times the earliest sequence
+     * entry wins. Null if none qualifies. Served from a lazily-built
+     * (time, seq-position) index — a binary search plus a short group
+     * walk instead of a full-sequence scan (the corrected timeline can
+     * locally run backwards, so the raw sequence is not time-sorted).
+     */
+    const AccessRecord *latestAtOrBefore(Tick after, Tick before,
+                                         Tick at_or_before,
+                                         TensorId exclude) const;
+
+    /**
+     * Earliest access with `after < time < before` and tensor != exclude;
+     * ties broken toward the earliest sequence entry. Null if none.
+     */
+    const AccessRecord *earliestWithin(Tick after, Tick before,
+                                       TensorId exclude) const;
+
     std::size_t size() const { return seq_.size(); }
     bool empty() const { return seq_.empty(); }
 
   private:
+    /** Build the sorted (time, seq-position) index if stale. Not
+     *  thread-safe; a tracker belongs to exactly one Session. */
+    void ensureTimeIndex() const;
+
     std::vector<AccessRecord> seq_;
+    mutable std::vector<std::pair<Tick, std::uint32_t>> timeIndex_;
+    mutable bool timeIndexDirty_ = true;
     std::unordered_map<TensorId, std::vector<AccessRecord>> perTensor_;
     struct OpTimes
     {

@@ -1,6 +1,8 @@
 #include "core/policy_maker.hh"
 
 #include <algorithm>
+#include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/logging.hh"
@@ -40,6 +42,7 @@ PolicyMaker::gatherCandidates(const BytesFn &tensor_bytes,
                               const PeakWindow &peak) const
 {
     std::vector<Candidate> cands;
+    cands.reserve(graph_.tensors().size());
     for (const auto &t : graph_.tensors()) {
         if (t.kind != TensorKind::FeatureMap)
             continue;
@@ -104,14 +107,22 @@ PolicyMaker::initRecomputeState(Candidate &cand,
     std::unordered_set<TensorId> cand_set;
     for (const auto &c : all)
         cand_set.insert(c.tensor);
+    initRecomputeState(cand, cand_set);
+}
 
+void
+PolicyMaker::initRecomputeState(
+    Candidate &cand, const std::unordered_set<TensorId> &cand_set) const
+{
     std::unordered_set<OpId> visited_ops;
     std::unordered_set<TensorId> visited_tensors;
     bool feasible = true;
     Tick rp_time = 0;
     std::vector<TensorId> srcs;
+    srcs.reserve(8);
 
     std::vector<TensorId> stack;
+    stack.reserve(16);
     auto expand_op = [&](OpId op_id) {
         visited_ops.insert(op_id);
         rp_time += tracker_.opDuration(op_id);
@@ -194,26 +205,18 @@ PolicyMaker::chooseInTrigger(PlannedEviction &item,
 bool
 PolicyMaker::repickTrigger(PlannedEviction &item) const
 {
-    const AccessRecord *best = nullptr;
-    const AccessRecord *earliest_after = nullptr;
-    for (const auto &rec : tracker_.sequence()) {
-        if (rec.time <= item.evictTime)
-            continue;
-        // A trigger at/after the back-access is useless: the on-demand
-        // path would already have fired.
-        if (rec.time >= item.backTime)
-            continue;
-        if (rec.tensor == item.tensor)
-            continue;
-        if (!earliest_after || rec.time < earliest_after->time)
-            earliest_after = &rec;
-        if (rec.time <= item.desiredSwapInStart) {
-            if (!best || rec.time > best->time)
-                best = &rec;
-        }
+    // Qualifying accesses lie strictly inside (evictTime, backTime) and
+    // belong to another tensor; prefer the latest one at or before the
+    // desired swap-in start, else the earliest in the window. Served by
+    // the tracker's sorted time index instead of a full-sequence scan.
+    const AccessRecord *best = tracker_.latestAtOrBefore(
+        item.evictTime, item.backTime, item.desiredSwapInStart,
+        item.tensor);
+    if (!best) {
+        // Fire as early as possible.
+        best = tracker_.earliestWithin(item.evictTime, item.backTime,
+                                       item.tensor);
     }
-    if (!best)
-        best = earliest_after; // fire as early as possible
     if (!best)
         return false;
     item.triggerTensor = best->tensor;
@@ -221,36 +224,66 @@ PolicyMaker::repickTrigger(PlannedEviction &item) const
     return true;
 }
 
-Plan
-PolicyMaker::build(std::uint64_t mem_saving_target,
-                   const BytesFn &tensor_bytes, const SwapTimeFn &swap_time,
-                   std::uint64_t gpu_capacity)
+namespace
 {
-    Plan plan;
-    plan.targetBytes = mem_saving_target;
-    if (mem_saving_target == 0 || tracker_.empty())
-        return plan;
 
-    // Peak window of the hypothetical (infinite-memory) usage curve; the
-    // curve covers non-weight tensors, so compare against the capacity
-    // left after the persistent weights.
-    std::uint64_t weight_bytes = graph_.bytesOfKind(TensorKind::Weight);
-    std::uint64_t threshold =
-        gpu_capacity > weight_bytes ? gpu_capacity - weight_bytes : 0;
-    auto curve_bytes = [&](TensorId id) -> std::uint64_t {
-        return graph_.tensor(id).kind == TensorKind::Weight
-                   ? 0
-                   : tensor_bytes(id);
-    };
-    plan.peak = tracker_.peakWindow(curve_bytes, threshold);
+/**
+ * Pinned transfers serialize per PCIe direction (§4.4): "a swap cannot
+ * start until its preceding swap finishes". A candidate's achievable
+ * overlap therefore shrinks as already-chosen swaps occupy the lanes.
+ * We model each lane as a FIFO over the chosen transfers — swap-outs
+ * anchored at their evicted-access, swap-ins at backTime - SwapTime —
+ * and charge each candidate the queueing delay it would experience.
+ * Once a lane saturates the delay exceeds any recomputation cost and
+ * Algorithm 1 flips to recompute.
+ */
+struct Xfer
+{
+    Tick anchor;
+    Tick dur;
+    bool operator<(const Xfer &o) const { return anchor < o.anchor; }
+};
 
-    std::vector<Candidate> cands =
-        gatherCandidates(tensor_bytes, swap_time, plan.peak);
-    if (opts_.enableRecompute) {
-        for (auto &c : cands)
-            initRecomputeState(c, cands);
+/**
+ * Total queueing (start - anchor) waiting across a lane's transfers. An
+ * early-anchored transfer that pushes every later one back by its
+ * duration is charged for that damage.
+ */
+Tick
+laneWait(const std::vector<Xfer> &lane)
+{
+    Tick busy = 0;
+    Tick total = 0;
+    for (const auto &x : lane) {
+        Tick start = std::max(x.anchor, busy);
+        total += start - x.anchor;
+        busy = start + x.dur;
     }
+    return total;
+}
 
+/** Marginal growth in total lane waiting if `probe` were added. */
+Tick
+queueDelay(std::vector<Xfer> lane, Xfer probe)
+{
+    std::sort(lane.begin(), lane.end());
+    Tick before = laneWait(lane);
+    lane.push_back(probe);
+    std::sort(lane.begin(), lane.end());
+    return laneWait(lane) - before;
+}
+
+bool
+containsTensor(const std::vector<TensorId> &v, TensorId t)
+{
+    return std::find(v.begin(), v.end(), t) != v.end();
+}
+
+} // namespace
+
+void
+PolicyMaker::runReference(Plan &plan, std::vector<Candidate> cands) const
+{
     struct Recomp
     {
         TensorId tensor;
@@ -259,62 +292,23 @@ PolicyMaker::build(std::uint64_t mem_saving_target,
     };
     std::vector<Recomp> recomps;
 
-    // Pinned transfers serialize per PCIe direction (§4.4): "a swap cannot
-    // start until its preceding swap finishes". A candidate's achievable
-    // overlap therefore shrinks as already-chosen swaps occupy the lanes.
-    // We model each lane as a FIFO over the chosen transfers — swap-outs
-    // anchored at their evicted-access, swap-ins at backTime - SwapTime —
-    // and charge each candidate the queueing delay it would experience.
-    // Once a lane saturates the delay exceeds any recomputation cost and
-    // Algorithm 1 flips to recompute.
-    struct Xfer
-    {
-        Tick anchor;
-        Tick dur;
-        bool operator<(const Xfer &o) const { return anchor < o.anchor; }
-    };
     std::vector<Xfer> chosen_out, chosen_in;
-
-    // Marginal queueing cost of adding `probe` to a lane: the growth in
-    // total (start - anchor) waiting across ALL transfers, not just the
-    // probe's own wait — an early-anchored transfer that pushes every
-    // later one back by its duration is charged for that damage.
-    auto lane_wait = [](const std::vector<Xfer> &lane) -> Tick {
-        Tick busy = 0;
-        Tick total = 0;
-        for (const auto &x : lane) {
-            Tick start = std::max(x.anchor, busy);
-            total += start - x.anchor;
-            busy = start + x.dur;
-        }
-        return total;
-    };
-    auto queue_delay = [&](std::vector<Xfer> lane, Xfer probe) -> Tick {
-        std::sort(lane.begin(), lane.end());
-        Tick before = lane_wait(lane);
-        lane.push_back(probe);
-        std::sort(lane.begin(), lane.end());
-        return lane_wait(lane) - before;
-    };
 
     auto exposure = [&](const Candidate &c) -> Tick {
         Tick interval = c.backTime - c.evictTime;
         Tick round_trip = 2 * c.swapTime;
         Tick exposed = round_trip > interval ? round_trip - interval : 0;
-        exposed += queue_delay(chosen_out, Xfer{c.evictTime, c.swapTime});
+        exposed += queueDelay(chosen_out, Xfer{c.evictTime, c.swapTime});
         Tick in_anchor = c.backTime > c.swapTime ? c.backTime - c.swapTime
                                                  : 0;
-        exposed += queue_delay(chosen_in, Xfer{in_anchor, c.swapTime});
+        exposed += queueDelay(chosen_in, Xfer{in_anchor, c.swapTime});
         return exposed;
-    };
-    auto contains = [](const std::vector<TensorId> &v, TensorId t) {
-        return std::find(v.begin(), v.end(), t) != v.end();
     };
     auto can_recompute = [](const Candidate &c) {
         return c.rpTime > 0;
     };
 
-    std::int64_t saving = static_cast<std::int64_t>(mem_saving_target);
+    std::int64_t saving = static_cast<std::int64_t>(plan.targetBytes);
 
     auto emit_swap = [&](std::size_t idx) {
         Candidate c = cands[idx];
@@ -350,12 +344,12 @@ PolicyMaker::build(std::uint64_t mem_saving_target,
         // shared prefix is replayed once more per such target.
         int ext_ct = 1;
         for (auto &rp : recomps) {
-            if (contains(rp.srcs, c.tensor)) {
+            if (containsTensor(rp.srcs, c.tensor)) {
                 rp.srcs.erase(
                     std::remove(rp.srcs.begin(), rp.srcs.end(), c.tensor),
                     rp.srcs.end());
                 for (TensorId s : c.srcs) {
-                    if (!contains(rp.srcs, s))
+                    if (!containsTensor(rp.srcs, s))
                         rp.srcs.push_back(s);
                 }
                 ++ext_ct;
@@ -367,22 +361,22 @@ PolicyMaker::build(std::uint64_t mem_saving_target,
         for (auto &cand : cands) {
             if (!can_recompute(cand))
                 continue;
-            if (contains(cand.srcs, c.tensor)) {
+            if (containsTensor(cand.srcs, c.tensor)) {
                 cand.srcs.erase(std::remove(cand.srcs.begin(),
                                             cand.srcs.end(), c.tensor),
                                 cand.srcs.end());
                 for (TensorId s : c.srcs) {
-                    if (!contains(cand.srcs, s))
+                    if (!containsTensor(cand.srcs, s))
                         cand.srcs.push_back(s);
                 }
                 cand.rpTime += c.rpTime;
                 cand.extTime = 0;
                 for (const auto &rp : recomps) {
-                    if (contains(rp.srcs, cand.tensor))
+                    if (containsTensor(rp.srcs, cand.tensor))
                         cand.extTime += cand.rpTime;
                 }
             }
-            if (contains(c.srcs, cand.tensor)) {
+            if (containsTensor(c.srcs, cand.tensor)) {
                 cand.extTime =
                     static_cast<Tick>(ext_ct) * cand.rpTime;
             }
@@ -456,6 +450,352 @@ PolicyMaker::build(std::uint64_t mem_saving_target,
         warn("policy maker covered {} of {} saving target",
              formatBytes(plan.plannedBytes), formatBytes(plan.targetBytes));
     }
+}
+
+void
+PolicyMaker::runIncremental(Plan &plan, std::vector<Candidate> cands) const
+{
+    // Same selection rules and tie-breaks as runReference, with the
+    // rescans replaced by incremental bookkeeping:
+    //  - exposures are cached per candidate and stamped with a lane
+    //    epoch; only an emitted swap changes the PCIe lanes, so picks
+    //    that recompute invalidate nothing;
+    //  - the best-MSPS candidate comes from a lazy max-heap keyed
+    //    (msps desc, gather index asc) — exactly the old scan's
+    //    first-occurrence-of-max order — with stale entries dropped on
+    //    pop;
+    //  - an emitted recompute updates only the candidates its Algorithm-2
+    //    branches can touch, found through per-source reverse indexes
+    //    instead of a cands × recomps sweep;
+    //  - candidates are never copied or erased: a liveness flag keeps the
+    //    gather order (= the old vector order under erases) for
+    //    tie-breaking.
+    struct Recomp
+    {
+        TensorId tensor;
+        std::vector<TensorId> srcs;
+        Tick rpTime;
+    };
+    std::vector<Recomp> recomps;
+    recomps.reserve(cands.size());
+
+    const std::size_t n = cands.size();
+    std::vector<char> alive(n, 1);
+    std::size_t alive_count = n;
+
+    std::unordered_map<TensorId, std::size_t> cand_by_tensor;
+    cand_by_tensor.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cand_by_tensor.emplace(cands[i].tensor, i);
+
+    // src tensor -> candidate indices whose srcs (may) contain it.
+    // Entries are appended when a source enters a candidate's set and
+    // validated with a containment check at use: sources are only ever
+    // removed when their tensor is picked, after which that key is never
+    // queried again.
+    std::unordered_map<TensorId, std::vector<std::size_t>> cands_by_src;
+    // src tensor -> emitted recompute indices whose srcs (may) contain it.
+    std::unordered_map<TensorId, std::vector<std::size_t>> recomps_by_src;
+    // Exact count of emitted recomputes whose srcs contain the tensor
+    // (the old code's "for rp in recomps: contains(rp.srcs, t)" tally).
+    std::unordered_map<TensorId, int> recomp_src_count;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (TensorId s : cands[i].srcs)
+            cands_by_src[s].push_back(i);
+    }
+
+    auto can_recompute = [](const Candidate &c) {
+        return c.rpTime > 0;
+    };
+
+    // Lazy MSPS max-heap. Every msps change pushes a fresh entry, so the
+    // entry matching a live candidate's current value is always present;
+    // anything else is detected stale on pop and discarded.
+    struct HeapEnt
+    {
+        double msps;
+        std::size_t idx;
+    };
+    struct HeapCmp
+    {
+        bool operator()(const HeapEnt &a, const HeapEnt &b) const
+        {
+            if (a.msps != b.msps)
+                return a.msps < b.msps;
+            return a.idx > b.idx;
+        }
+    };
+    std::priority_queue<HeapEnt, std::vector<HeapEnt>, HeapCmp> heap;
+    if (opts_.enableRecompute) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (can_recompute(cands[i]))
+                heap.push(HeapEnt{cands[i].msps(), i});
+        }
+    }
+    auto top_recompute = [&]() -> std::size_t {
+        while (!heap.empty()) {
+            const HeapEnt &e = heap.top();
+            if (alive[e.idx] && can_recompute(cands[e.idx]) &&
+                cands[e.idx].msps() == e.msps)
+                return e.idx;
+            heap.pop();
+        }
+        return n;
+    };
+
+    std::vector<Xfer> chosen_out, chosen_in;
+    std::uint64_t lane_epoch = 1;
+    std::vector<Tick> exp_cache(n, 0);
+    std::vector<std::uint64_t> exp_epoch(n, 0); // 0 = never computed
+
+    auto exposure_of = [&](std::size_t i) -> Tick {
+        if (exp_epoch[i] != lane_epoch) {
+            const Candidate &c = cands[i];
+            Tick interval = c.backTime - c.evictTime;
+            Tick round_trip = 2 * c.swapTime;
+            Tick exposed =
+                round_trip > interval ? round_trip - interval : 0;
+            exposed +=
+                queueDelay(chosen_out, Xfer{c.evictTime, c.swapTime});
+            Tick in_anchor =
+                c.backTime > c.swapTime ? c.backTime - c.swapTime : 0;
+            exposed += queueDelay(chosen_in, Xfer{in_anchor, c.swapTime});
+            exp_cache[i] = exposed;
+            exp_epoch[i] = lane_epoch;
+        }
+        return exp_cache[i];
+    };
+
+    std::int64_t saving = static_cast<std::int64_t>(plan.targetBytes);
+
+    auto emit_swap = [&](std::size_t idx) {
+        const Candidate &c = cands[idx];
+        PlannedEviction item;
+        item.tensor = c.tensor;
+        item.mode = RegenChoice::Swap;
+        item.bytes = c.bytes;
+        item.evictAfterAccess = c.evictAfterAccess;
+        item.backAccess = c.backAccess;
+        item.evictTime = c.evictTime;
+        item.backTime = c.backTime;
+        item.swapTime = c.swapTime;
+        item.freeTime = c.freeTime;
+        item.estimatedOverhead = exposure_of(idx); // pre-update lanes
+        chooseInTrigger(item, plan.peak);
+        plan.items.push_back(item);
+        ++plan.swapCount;
+        plan.plannedBytes += c.bytes;
+        chosen_out.push_back(Xfer{c.evictTime, c.swapTime});
+        chosen_in.push_back(
+            Xfer{c.backTime > c.swapTime ? c.backTime - c.swapTime : 0,
+                 c.swapTime});
+        ++lane_epoch; // every cached exposure is now stale
+        alive[idx] = 0;
+        --alive_count;
+        saving -= static_cast<std::int64_t>(c.bytes);
+    };
+
+    auto emit_recompute = [&](std::size_t idx) {
+        Candidate &c = cands[idx];
+        alive[idx] = 0;
+        --alive_count;
+
+        // Algorithm 2, lines 5-12: targets whose source set contained the
+        // newly chosen tensor now start from its sources instead, and the
+        // shared prefix is replayed once more per such target.
+        int ext_ct = 1;
+        {
+            auto cnt = recomp_src_count.find(c.tensor);
+            if (cnt != recomp_src_count.end())
+                ext_ct += cnt->second;
+        }
+        auto rit = recomps_by_src.find(c.tensor);
+        if (rit != recomps_by_src.end()) {
+            // Copy: appending to recomps_by_src below may rehash the map.
+            std::vector<std::size_t> touched = rit->second;
+            for (std::size_t rp_idx : touched) {
+                Recomp &rp = recomps[rp_idx];
+                if (!containsTensor(rp.srcs, c.tensor))
+                    continue;
+                rp.srcs.erase(std::remove(rp.srcs.begin(), rp.srcs.end(),
+                                          c.tensor),
+                              rp.srcs.end());
+                --recomp_src_count[c.tensor];
+                for (TensorId s : c.srcs) {
+                    if (!containsTensor(rp.srcs, s)) {
+                        rp.srcs.push_back(s);
+                        ++recomp_src_count[s];
+                        recomps_by_src[s].push_back(rp_idx);
+                    }
+                }
+            }
+        }
+        recomps.push_back(Recomp{c.tensor, c.srcs, c.rpTime});
+        std::size_t new_rp = recomps.size() - 1;
+        for (TensorId s : c.srcs) {
+            ++recomp_src_count[s];
+            recomps_by_src[s].push_back(new_rp);
+        }
+
+        // Algorithm 2, lines 17-34, restricted to the candidates the two
+        // branches can affect: srcs containing c.tensor (branch 1) and
+        // members of c.srcs (branch 2).
+        std::vector<std::size_t> affected;
+        auto cit = cands_by_src.find(c.tensor);
+        if (cit != cands_by_src.end())
+            affected = cit->second; // copy; map may rehash below
+        for (TensorId s : c.srcs) {
+            auto t = cand_by_tensor.find(s);
+            if (t != cand_by_tensor.end())
+                affected.push_back(t->second);
+        }
+        std::sort(affected.begin(), affected.end());
+        affected.erase(std::unique(affected.begin(), affected.end()),
+                       affected.end());
+
+        for (std::size_t j : affected) {
+            if (!alive[j])
+                continue;
+            Candidate &cand = cands[j];
+            if (!can_recompute(cand))
+                continue;
+            bool changed = false;
+            if (containsTensor(cand.srcs, c.tensor)) {
+                cand.srcs.erase(std::remove(cand.srcs.begin(),
+                                            cand.srcs.end(), c.tensor),
+                                cand.srcs.end());
+                for (TensorId s : c.srcs) {
+                    if (!containsTensor(cand.srcs, s)) {
+                        cand.srcs.push_back(s);
+                        cands_by_src[s].push_back(j);
+                    }
+                }
+                cand.rpTime += c.rpTime;
+                int rp_ct = 0;
+                auto cc = recomp_src_count.find(cand.tensor);
+                if (cc != recomp_src_count.end())
+                    rp_ct = cc->second;
+                cand.extTime = static_cast<Tick>(rp_ct) * cand.rpTime;
+                changed = true;
+            }
+            if (containsTensor(c.srcs, cand.tensor)) {
+                cand.extTime = static_cast<Tick>(ext_ct) * cand.rpTime;
+                changed = true;
+            }
+            if (changed)
+                heap.push(HeapEnt{cand.msps(), j});
+        }
+
+        PlannedEviction item;
+        item.tensor = c.tensor;
+        item.mode = RegenChoice::Recompute;
+        item.bytes = c.bytes;
+        item.evictAfterAccess = c.evictAfterAccess;
+        item.backAccess = c.backAccess;
+        item.evictTime = c.evictTime;
+        item.backTime = c.backTime;
+        item.recomputeTime = c.rpTime + c.extTime;
+        item.estimatedOverhead = item.recomputeTime;
+        plan.items.push_back(item);
+        ++plan.recomputeCount;
+        plan.plannedBytes += c.bytes;
+        saving -= static_cast<std::int64_t>(c.bytes);
+    };
+
+    while (saving > 0 && alive_count > 0) {
+        // Best swap: maximal FT, i.e. minimal exposure. Scan order over
+        // the liveness mask equals the reference's vector order, so ties
+        // resolve identically.
+        std::size_t s_idx = n;
+        Tick s_exp = 0;
+        if (opts_.enableSwap) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!alive[i])
+                    continue;
+                Tick e = exposure_of(i);
+                if (s_idx == n || e < s_exp ||
+                    (e == s_exp &&
+                     cands[i].freeTime > cands[s_idx].freeTime)) {
+                    s_idx = i;
+                    s_exp = e;
+                }
+            }
+        }
+        if (s_idx < n && s_exp == 0) {
+            emit_swap(s_idx); // fully hidden: swap is free (§4.5)
+            continue;
+        }
+
+        std::size_t r_idx = opts_.enableRecompute ? top_recompute() : n;
+
+        bool have_s = s_idx < n;
+        bool have_r = r_idx < n;
+        if (have_s && have_r) {
+            Tick r_over = cands[r_idx].rpTime + cands[r_idx].extTime;
+            if (s_exp <= r_over)
+                emit_swap(s_idx);
+            else
+                emit_recompute(r_idx);
+        } else if (have_s) {
+            emit_swap(s_idx);
+        } else if (have_r) {
+            emit_recompute(r_idx);
+        } else {
+            break; // nothing actionable left
+        }
+    }
+
+    if (saving > 0) {
+        warn("policy maker covered {} of {} saving target",
+             formatBytes(plan.plannedBytes), formatBytes(plan.targetBytes));
+    }
+}
+
+Plan
+PolicyMaker::build(std::uint64_t mem_saving_target,
+                   const BytesFn &tensor_bytes, const SwapTimeFn &swap_time,
+                   std::uint64_t gpu_capacity)
+{
+    Plan plan;
+    plan.targetBytes = mem_saving_target;
+    if (mem_saving_target == 0 || tracker_.empty())
+        return plan;
+
+    // Peak window of the hypothetical (infinite-memory) usage curve; the
+    // curve covers non-weight tensors, so compare against the capacity
+    // left after the persistent weights.
+    std::uint64_t weight_bytes = graph_.bytesOfKind(TensorKind::Weight);
+    std::uint64_t threshold =
+        gpu_capacity > weight_bytes ? gpu_capacity - weight_bytes : 0;
+    auto curve_bytes = [&](TensorId id) -> std::uint64_t {
+        return graph_.tensor(id).kind == TensorKind::Weight
+                   ? 0
+                   : tensor_bytes(id);
+    };
+    plan.peak = tracker_.peakWindow(curve_bytes, threshold);
+
+    std::vector<Candidate> cands =
+        gatherCandidates(tensor_bytes, swap_time, plan.peak);
+    if (opts_.enableRecompute) {
+        if (opts_.incremental) {
+            // One candidate-set for all lineage walks, not one per call.
+            std::unordered_set<TensorId> cand_set;
+            cand_set.reserve(cands.size());
+            for (const auto &c : cands)
+                cand_set.insert(c.tensor);
+            for (auto &c : cands)
+                initRecomputeState(c, cand_set);
+        } else {
+            for (auto &c : cands)
+                initRecomputeState(c, cands);
+        }
+    }
+
+    if (opts_.incremental)
+        runIncremental(plan, std::move(cands));
+    else
+        runReference(plan, std::move(cands));
     return plan;
 }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/access_tracker.hh"
@@ -86,6 +87,13 @@ struct PolicyMakerOptions
     bool enableRecompute = true;
     /** Ignore tensors smaller than this (not worth a transfer/replay). */
     std::uint64_t minTensorBytes = 1ull << 20;
+    /**
+     * Use the incremental Algorithm-2 engine (exposure caching, MSPS
+     * max-heap, per-source reverse indexes). Off = the original
+     * full-rescan loop, kept as a byte-identical reference oracle for
+     * tests and the perf harness. Both engines produce the same plan.
+     */
+    bool incremental = true;
 };
 
 class PolicyMaker
@@ -149,9 +157,17 @@ class PolicyMaker
 
     void initRecomputeState(Candidate &cand,
                             const std::vector<Candidate> &all) const;
+    void initRecomputeState(
+        Candidate &cand,
+        const std::unordered_set<TensorId> &cand_set) const;
 
     void chooseInTrigger(PlannedEviction &item,
                          const PeakWindow &peak) const;
+
+    /** Original full-rescan Algorithm-2 loop (reference oracle). */
+    void runReference(Plan &plan, std::vector<Candidate> cands) const;
+    /** Incremental engine; emits the same plan as runReference. */
+    void runIncremental(Plan &plan, std::vector<Candidate> cands) const;
 };
 
 } // namespace capu

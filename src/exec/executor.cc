@@ -414,6 +414,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
 {
     // --- 1. Plan: ops whose replay regenerates `target` from residents ---
     std::vector<OpId> plan;
+    plan.reserve(16);
     std::vector<bool> in_plan(graph_.numOps(), false);
 
     std::function<void(TensorId)> need = [&](TensorId tid) {
@@ -454,7 +455,9 @@ Executor::recomputeTensor(TensorId target, Tick at)
     // recomputation; both are released under memory pressure — the paper's
     // "kept if the memory is enough; otherwise released" rule (§5.3).
     std::vector<TensorId> scratch;
+    scratch.reserve(plan.size());
     std::vector<TensorId> kept;
+    kept.reserve(plan.size());
 
     auto release_from = [&](std::vector<TensorId> &pool, Tick when,
                             std::size_t plan_pos) {
@@ -1009,6 +1012,7 @@ Executor::regenCheck(TensorId id, bool accept_transient)
     // maps count as sources (they may be freed later); without it only
     // weights and host copies do.
     std::vector<TensorId> stack;
+    stack.reserve(32);
     std::vector<bool> visited(graph_.numTensors(), false);
     stack.push_back(id);
     visited[id] = true;
@@ -1092,11 +1096,13 @@ Executor::victimsForContiguous(std::uint64_t bytes)
     };
 
     std::vector<TensorId> best;
+    best.reserve(8);
     std::uint64_t best_cost = ~0ull;
     std::size_t lo = 0;
     std::uint64_t span = 0;
     std::uint64_t cost = 0;
     std::vector<TensorId> window;
+    window.reserve(8);
     for (std::size_t hi = 0; hi < chunks.size(); ++hi) {
         TensorId tid = kInvalidTensor;
         bool pending_free =

@@ -41,12 +41,14 @@ void
 BfcAllocator::insertFree(const Chunk &c)
 {
     freeBySize_.emplace(c.size, c.offset);
+    freeByOffset_.emplace(c.offset, c.size);
 }
 
 void
 BfcAllocator::eraseFree(const Chunk &c)
 {
     freeBySize_.erase({c.size, c.offset});
+    freeByOffset_.erase(c.offset);
 }
 
 std::optional<MemHandle>
@@ -67,17 +69,17 @@ BfcAllocator::allocate(std::uint64_t bytes, Placement placement)
 
     auto cit = chunks_.end();
     if (large) {
-        std::uint64_t best_offset = 0;
-        bool found = false;
-        for (auto it = freeBySize_.lower_bound({need, 0});
-             it != freeBySize_.end(); ++it) {
-            if (!found || it->second > best_offset) {
-                best_offset = it->second;
-                found = true;
+        // Highest-addressed fitting chunk: reverse walk of the offset
+        // index stops at the first chunk big enough — same chunk the old
+        // full scan of freeBySize_ selected, found in O(1) when the arena
+        // top is free (the common case under segregated placement).
+        for (auto it = freeByOffset_.rbegin(); it != freeByOffset_.rend();
+             ++it) {
+            if (it->second >= need) {
+                cit = chunks_.find(it->first);
+                break;
             }
         }
-        if (found)
-            cit = chunks_.find(best_offset);
     } else {
         auto it = freeBySize_.lower_bound({need, 0});
         if (it != freeBySize_.end())
@@ -224,6 +226,9 @@ BfcAllocator::checkInvariants() const
             ++free_count;
             if (!freeBySize_.count({c.size, c.offset}))
                 panic("free chunk missing from size index at {}", off);
+            auto fo = freeByOffset_.find(c.offset);
+            if (fo == freeByOffset_.end() || fo->second != c.size)
+                panic("free chunk missing from offset index at {}", off);
         } else {
             in_use += c.size;
         }
@@ -238,6 +243,9 @@ BfcAllocator::checkInvariants() const
     if (free_count != freeBySize_.size())
         panic("free index size drift: {} vs {}", free_count,
               freeBySize_.size());
+    if (free_count != freeByOffset_.size())
+        panic("free offset-index size drift: {} vs {}", free_count,
+              freeByOffset_.size());
 }
 
 } // namespace capu

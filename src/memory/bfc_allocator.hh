@@ -148,6 +148,13 @@ class BfcAllocator
     std::map<std::uint64_t, Chunk> chunks_;
     // Free chunks ordered by (size, offset) -> best fit is lower_bound.
     std::set<std::pair<std::uint64_t, std::uint64_t>> freeBySize_;
+    // Free chunks keyed by offset -> size. The large-placement path wants
+    // the *highest-addressed* fitting chunk; walking this map backwards
+    // finds it at the first fit instead of scanning every free chunk of
+    // sufficient size. Under segregated placement the top of the arena is
+    // exactly where the big free chunks live, so the reverse walk almost
+    // always stops after one or two probes.
+    std::map<std::uint64_t, std::uint64_t> freeByOffset_;
 
     std::uint64_t capacity_;
     BfcOptions options_;

@@ -1,11 +1,60 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/logging.hh"
 
 namespace capu
 {
+
+namespace
+{
+constexpr std::size_t kArity = 4;
+} // namespace
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / kArity;
+        if (!heap_[i].precedes(heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t first = i * kArity + 1;
+        if (first >= n)
+            return;
+        std::size_t best = first;
+        std::size_t last = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (heap_[c].precedes(heap_[best]))
+                best = c;
+        if (!heap_[best].precedes(heap_[i]))
+            return;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return top;
+}
 
 std::uint64_t
 EventQueue::schedule(Tick when, Callback cb)
@@ -13,27 +62,21 @@ EventQueue::schedule(Tick when, Callback cb)
     if (when < now_)
         panic("event scheduled in the past: {} < now {}", when, now_);
     std::uint64_t id = nextId_++;
-    heap_.push(Entry{when, id, std::move(cb)});
+    heap_.push_back(Entry{when, id, std::move(cb)});
+    siftUp(heap_.size() - 1);
     ++pending_;
     return id;
 }
 
 bool
-EventQueue::isCancelled(std::uint64_t id) const
-{
-    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-           cancelled_.end();
-}
-
-bool
 EventQueue::cancel(std::uint64_t id)
 {
-    if (id >= nextId_ || isCancelled(id))
+    if (id >= nextId_ || cancelled_.count(id) != 0)
         return false;
     // Lazy deletion: remember the id; skip it when popped. We cannot know
     // here whether the event already fired, so over-approximating is fine —
     // fired ids never reappear in the heap.
-    cancelled_.push_back(id);
+    cancelled_.insert(id);
     if (pending_ > 0)
         --pending_;
     return true;
@@ -42,10 +85,9 @@ EventQueue::cancel(std::uint64_t id)
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!heap_.empty() && heap_.top().when <= until) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (isCancelled(e.id))
+    while (!heap_.empty() && heap_.front().when <= until) {
+        Entry e = popTop();
+        if (cancelled_.count(e.id) != 0)
             continue;
         --pending_;
         now_ = e.when;
@@ -58,9 +100,8 @@ Tick
 EventQueue::runAll()
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (isCancelled(e.id))
+        Entry e = popTop();
+        if (cancelled_.count(e.id) != 0)
             continue;
         --pending_;
         now_ = e.when;

@@ -1,0 +1,122 @@
+#include "support/thread_pool.hh"
+
+#include <exception>
+
+namespace capu
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = threads == 0 ? defaultThreads() : threads;
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Worker>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        stopping_ = true;
+    }
+    sleepCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        target = nextQueue_++ % queues_.size();
+        ++pending_;
+    }
+    {
+        std::lock_guard<std::mutex> lk(queues_[target]->mutex);
+        queues_[target]->queue.push_back(std::move(fn));
+    }
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(unsigned self, std::function<void()> &out)
+{
+    auto take = [&](Worker &w, bool lifo) {
+        std::lock_guard<std::mutex> lk(w.mutex);
+        if (w.queue.empty())
+            return false;
+        if (lifo) {
+            out = std::move(w.queue.back());
+            w.queue.pop_back();
+        } else {
+            out = std::move(w.queue.front());
+            w.queue.pop_front();
+        }
+        return true;
+    };
+    // Own queue first, newest task (LIFO: still-warm working set); then
+    // steal the oldest task from another worker (FIFO: the task its owner
+    // would reach last).
+    bool got = take(*queues_[self], true);
+    for (std::size_t i = 1; !got && i < queues_.size(); ++i)
+        got = take(*queues_[(self + i) % queues_.size()], false);
+    if (got) {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        --pending_;
+    }
+    return got;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (tryPop(self, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMutex_);
+        if (pending_ > 0)
+            continue; // lost a pop race; the task may still be unclaimed
+        if (stopping_)
+            return;
+        sleepCv_.wait(lk,
+                      [this] { return stopping_ || pending_ > 0; });
+    }
+}
+
+void
+ThreadPool::forEachIndex(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futs.push_back(submit([&fn, i] { fn(i); }));
+    std::exception_ptr first;
+    for (auto &f : futs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace capu

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Small work-stealing thread pool for embarrassingly parallel sweeps.
+ *
+ * The simulator itself stays single-threaded and deterministic; the pool
+ * exists so the bench harnesses can run *independent* (model, policy,
+ * batch) configurations of the zoo concurrently. Each worker owns a deque:
+ * it pops its own work LIFO (cache-warm) and steals FIFO from the other
+ * workers when dry. Tasks are plain callables; submit() returns a future,
+ * so exceptions thrown inside a task propagate to whoever joins it.
+ *
+ * Determinism argument: a task never shares mutable state with another
+ * task (each runs a private Session over a private Graph), so execution
+ * order cannot change any task's result — parallelism only reorders
+ * *wall-clock* completion. Callers collect results into pre-sized slots
+ * indexed by task id and print after joining, which restores a fixed
+ * output order.
+ */
+
+#ifndef CAPU_SUPPORT_THREAD_POOL_HH
+#define CAPU_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace capu
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means one per hardware thread
+     *        (minimum 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const { return workers_.size(); }
+
+    /** Queue a task; the future rethrows anything the task throws. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run fn(i) for i in [0, n) across the pool and wait for all of them.
+     * The first exception thrown by any index is rethrown here (after all
+     * indices finished or were attempted).
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn);
+
+    /** Number of worker threads a default-constructed pool would use. */
+    static unsigned defaultThreads();
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> queue;
+        std::mutex mutex;
+    };
+
+    void enqueue(std::function<void()> fn);
+    void workerLoop(unsigned self);
+    bool tryPop(unsigned self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Worker>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    std::size_t nextQueue_ = 0; ///< round-robin submission cursor
+    std::size_t pending_ = 0;   ///< queued-but-unpopped tasks (sleepMutex_)
+    bool stopping_ = false;
+};
+
+} // namespace capu
+
+#endif // CAPU_SUPPORT_THREAD_POOL_HH

@@ -13,13 +13,16 @@
  *   capusim --list
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/lint_hooks.hh"
 #include "core/capuchin_policy.hh"
@@ -47,6 +50,8 @@ struct Options
     std::string device = "p100";
     std::int64_t batch = 256;
     int iterations = 10;
+    int repeat = 1;
+    int warmup = 0;
     bool eager = false;
     bool lint = false;
     bool findMax = false;
@@ -162,6 +167,11 @@ usage()
         "  --device <name>    p100 (default) | v100\n"
         "  --batch <n>        batch size (default 256)\n"
         "  --iters <n>        training iterations (default 10)\n"
+        "  --repeat <n>       run the whole workload n times and report\n"
+        "                     the median host wall-clock (default 1);\n"
+        "                     simulated results are identical every time\n"
+        "  --warmup <n>       untimed runs before the timed repeats\n"
+        "                     (default 0)\n"
         "  --eager            imperative execution (graph-agnostic\n"
         "                     policies only)\n"
         "  --lint             verify the memory plan (capulint rules)\n"
@@ -211,6 +221,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.batch = std::atoll(next());
         else if (a == "--iters")
             opt.iterations = std::atoi(next());
+        else if (a == "--repeat")
+            opt.repeat = std::atoi(next());
+        else if (a == "--warmup")
+            opt.warmup = std::atoi(next());
         else if (a == "--eager")
             opt.eager = true;
         else if (a == "--lint")
@@ -394,13 +408,37 @@ main(int argc, char **argv)
             return 0;
         }
 
-        Session session(buildByName(opt.model, opt.batch), cfg,
-                        policyByName(opt.policy, opt.lint, faults_on));
-        auto r = session.run(opt.iterations);
+        // Median-of-N host timing: untimed warm-ups hide allocator and
+        // page-cache cold-start, then each timed repeat runs a fresh
+        // Session over the same config (the simulated result is
+        // deterministic — only the host wall-clock varies). The last
+        // repeat's session feeds the normal reporting path.
+        const int warmup = std::max(opt.warmup, 0);
+        const int repeat = std::max(opt.repeat, 1);
+        for (int w = 0; w < warmup; ++w) {
+            Session s(buildByName(opt.model, opt.batch), cfg,
+                      policyByName(opt.policy, opt.lint, faults_on));
+            (void)s.run(opt.iterations);
+        }
+        std::vector<double> wall_ms;
+        wall_ms.reserve(static_cast<std::size_t>(repeat));
+        std::optional<Session> session;
+        std::optional<SessionResult> result;
+        for (int rep = 0; rep < repeat; ++rep) {
+            session.emplace(buildByName(opt.model, opt.batch), cfg,
+                            policyByName(opt.policy, opt.lint, faults_on));
+            auto t0 = std::chrono::steady_clock::now();
+            result = session->run(opt.iterations);
+            auto t1 = std::chrono::steady_clock::now();
+            wall_ms.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count());
+        }
+        SessionResult &r = *result;
 
         // Export observability artifacts even on OOM — a truncated trace
         // of a failed run is exactly what post-mortem debugging wants.
-        obs::Obs &o = session.executor().obs();
+        obs::Obs &o = session->executor().obs();
         if (!opt.traceJson.empty() &&
             obs::writeChromeTraceFile(opt.traceJson, o.tracer))
             inform("wrote Chrome trace ({} events, {} dropped) to {}",
@@ -436,9 +474,22 @@ main(int argc, char **argv)
             }
             t.print(std::cout);
         }
+        if (repeat > 1 || warmup > 0) {
+            std::vector<double> sorted = wall_ms;
+            std::sort(sorted.begin(), sorted.end());
+            double median =
+                sorted.size() % 2 == 1
+                    ? sorted[sorted.size() / 2]
+                    : 0.5 * (sorted[sorted.size() / 2 - 1] +
+                             sorted[sorted.size() / 2]);
+            std::cout << "timing: median wall " << median << " ms over "
+                      << repeat << " repeats (" << warmup
+                      << " warmup), min " << sorted.front() << " ms, max "
+                      << sorted.back() << " ms\n";
+        }
         if (faults_on) {
             const faults::FaultStats &fs =
-                session.executor().faultEngine().stats();
+                session->executor().faultEngine().stats();
             std::cout << "chaos: degraded_transfers=" << fs.degradedTransfers
                       << " jittered_kernels=" << fs.jitteredKernels
                       << " host_rejects=" << fs.hostRejects
