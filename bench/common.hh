@@ -12,6 +12,7 @@
 #ifndef CAPU_BENCH_COMMON_HH
 #define CAPU_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -92,6 +93,16 @@ maxBatch(ModelKind kind, System sys, const ExecConfig &cfg = {})
     return findMaxBatch(
         [kind](std::int64_t b) { return buildModel(kind, b); },
         [sys] { return makePolicy(sys); }, cfg, 3, 1, 4096);
+}
+
+/** Host wall clock in milliseconds, for reporting sweep durations. */
+inline double
+wallMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+               steady_clock::now().time_since_epoch())
+        .count();
 }
 
 /**

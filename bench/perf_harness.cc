@@ -15,6 +15,13 @@
  *  - sweep parallelism: wall time of a zoo mini-sweep serial vs on the
  *    work-stealing pool (reported only; the speedup gate applies when
  *    >= 4 workers are available).
+ *  - steady-state replay: a long training session with capureplay on vs
+ *    off. The two runs are asserted bit-identical (every IterationStats
+ *    field, including begin/end ticks) before the speedup is reported;
+ *    the full run must clear 3x.
+ *  - max-batch search: findMaxBatch (memoized, galloping, replay-armed
+ *    probes) vs an inline replica of the pre-capureplay bisection,
+ *    asserted to agree on the result.
  *
  * Timings are median-of-N (--repeat). A calibration spin — a fixed
  * integer workload timed on the same machine — is recorded next to the
@@ -33,6 +40,7 @@
 #include <iterator>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -346,6 +354,196 @@ runAllocator(bool quick)
     return res;
 }
 
+/** Replay-friendly cases: the Capuchin feedback loop reaches a fixed
+ *  point within the first ~10 iterations at these batches, so a long
+ *  session is dominated by synthesized iterations. */
+const ModelCase kReplayCases[] = {
+    {ModelKind::Vgg16, 230},
+    {ModelKind::ResNet50, 200},
+    {ModelKind::BertBase, 64},
+};
+
+const ModelCase kQuickReplayCases[] = {
+    {ModelKind::Vgg16, 230},
+};
+
+struct ReplayResult
+{
+    std::string name;
+    std::int64_t batch = 0;
+    int iterations = 0;
+    double offMs = 0;
+    double onMs = 0;
+    double speedup = 0;
+    int executed = 0;
+    int replayed = 0;
+    bool identical = true;
+};
+
+/** Every field of every iteration, including absolute begin/end ticks:
+ *  replay is only a win if it is indistinguishable from execution. */
+bool
+resultsIdentical(const SessionResult &a, const SessionResult &b)
+{
+    if (a.oom || b.oom || a.iterations.size() != b.iterations.size())
+        return false;
+    for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+        const IterationStats &x = a.iterations[i];
+        const IterationStats &y = b.iterations[i];
+        if (x.iteration != y.iteration || x.begin != y.begin ||
+            x.end != y.end || x.kernelBusy != y.kernelBusy ||
+            x.recomputeBusy != y.recomputeBusy ||
+            x.inputStall != y.inputStall ||
+            x.allocStall != y.allocStall ||
+            x.swapOutBytes != y.swapOutBytes ||
+            x.swapInBytes != y.swapInBytes ||
+            x.swapOutCount != y.swapOutCount ||
+            x.swapInCount != y.swapInCount ||
+            x.recomputedTensors != y.recomputedTensors ||
+            x.recomputeOps != y.recomputeOps ||
+            x.droppedTensors != y.droppedTensors ||
+            x.droppedBytes != y.droppedBytes ||
+            x.inplaceForwards != y.inplaceForwards ||
+            x.fallbackKernels != y.fallbackKernels ||
+            x.oomEvictions != y.oomEvictions ||
+            x.prefetchBusy != y.prefetchBusy ||
+            x.prefetchStall != y.prefetchStall ||
+            x.peakGpuBytes != y.peakGpuBytes)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * One long Capuchin session with replay off, then on. Graph building is
+ * kept outside the timed region (both variants pay it identically).
+ */
+ReplayResult
+runReplay(const ModelCase &mc, const Options &opt)
+{
+    ReplayResult res;
+    res.name = modelName(mc.kind);
+    res.batch = mc.batch;
+    res.iterations = opt.quick ? 40 : 100;
+
+    Graph g_off = buildModel(mc.kind, mc.batch);
+    Graph g_on = buildModel(mc.kind, mc.batch);
+
+    ExecConfig cfg_off;
+    double t0 = nowMs();
+    Session off(std::move(g_off), cfg_off, makeCapuchinPolicy());
+    auto r_off = off.run(res.iterations);
+    res.offMs = nowMs() - t0;
+
+    ExecConfig cfg_on;
+    cfg_on.replay.enabled = true;
+    t0 = nowMs();
+    Session on(std::move(g_on), cfg_on, makeCapuchinPolicy());
+    auto r_on = on.run(res.iterations);
+    res.onMs = nowMs() - t0;
+
+    res.executed = r_on.replay.executed;
+    res.replayed = r_on.replay.replayed;
+    res.speedup = res.onMs > 0 ? res.offMs / res.onMs : 0;
+    res.identical = resultsIdentical(r_off, r_on);
+    if (!res.identical)
+        std::cerr << res.name << "@" << mc.batch
+                  << ": REPLAY RUN DIVERGES FROM EXECUTED RUN\n";
+    return res;
+}
+
+const ModelKind kMaxBatchCases[] = {ModelKind::Vgg16, ModelKind::BertBase};
+const ModelKind kQuickMaxBatchCases[] = {ModelKind::Vgg16};
+
+struct MaxBatchResult
+{
+    std::string name;
+    std::int64_t newBatch = 0;
+    std::int64_t legacyBatch = 0;
+    double newMs = 0;
+    double legacyMs = 0;
+    int newProbes = 0;
+    int legacyProbes = 0;
+    bool equal = true;
+};
+
+/**
+ * Pre-memo findMaxBatch, replicated inline as the comparison baseline:
+ * no memo, no gallop — feasibility is re-probed on every robust() call
+ * and the search opens with full-range bisection from hi.
+ */
+std::int64_t
+legacyFindMaxBatch(const GraphBuilderFn &builder,
+                   const PolicyFactoryFn &make_policy,
+                   const ExecConfig &config, int iterations,
+                   std::int64_t lo, std::int64_t hi, int &probes)
+{
+    auto feasible = [&](std::int64_t batch) {
+        ++probes;
+        Session session(builder(batch), config, make_policy());
+        return !session.run(iterations).oom;
+    };
+    auto robust = [&](std::int64_t batch) {
+        std::int64_t step = std::max<std::int64_t>(1, batch / 32);
+        return feasible(batch) &&
+               (batch - step < lo || feasible(batch - step));
+    };
+    if (!feasible(lo))
+        return 0;
+    if (robust(hi))
+        return hi;
+    std::int64_t good = lo;
+    std::int64_t bad = hi;
+    while (good + 1 < bad) {
+        std::int64_t mid = good + (bad - good) / 2;
+        if (robust(mid))
+            good = mid;
+        else
+            bad = mid;
+    }
+    return good;
+}
+
+/**
+ * The zoo search the tab02/tab03 benches run — Capuchin over [1, 4096] —
+ * at a 60-iteration feasibility horizon (long enough that steady-state
+ * fragmentation drift would surface, and that replay-armed probes can
+ * synthesize the stable tail). The legacy replica runs the same horizon
+ * the pre-capureplay way: every iteration executed, every probe re-run.
+ */
+MaxBatchResult
+runMaxBatch(ModelKind kind)
+{
+    MaxBatchResult res;
+    res.name = modelName(kind);
+    const int horizon = 60;
+    ExecConfig cfg;
+    auto builder = [kind](std::int64_t b) { return buildModel(kind, b); };
+    auto policy = [] { return makeVdnnPolicy(); };
+
+    int new_probes = 0;
+    auto counting_builder = [&](std::int64_t b) {
+        ++new_probes;
+        return buildModel(kind, b);
+    };
+    double t0 = nowMs();
+    res.newBatch =
+        findMaxBatch(counting_builder, policy, cfg, horizon, 1, 4096);
+    res.newMs = nowMs() - t0;
+    res.newProbes = new_probes;
+
+    t0 = nowMs();
+    res.legacyBatch = legacyFindMaxBatch(builder, policy, cfg, horizon, 1,
+                                         4096, res.legacyProbes);
+    res.legacyMs = nowMs() - t0;
+    res.equal = res.newBatch == res.legacyBatch;
+    if (!res.equal)
+        std::cerr << res.name << ": MAX-BATCH SEARCH DIVERGES (new "
+                  << res.newBatch << " vs legacy " << res.legacyBatch
+                  << ")\n";
+    return res;
+}
+
 std::string
 jsonNum(double v)
 {
@@ -470,6 +668,70 @@ main(int argc, char **argv)
         ok = false;
     }
 
+    // ---- steady-state replay --------------------------------------------
+    const ModelCase *rcases =
+        opt.quick ? kQuickReplayCases : kReplayCases;
+    std::size_t n_rcases = opt.quick ? std::size(kQuickReplayCases)
+                                     : std::size(kReplayCases);
+    // 40-iteration quick runs leave less room to amortize the executed
+    // warm-up prefix, so the quick bar is lower.
+    const double min_replay_speedup = opt.quick ? 2.0 : 3.0;
+    std::vector<ReplayResult> replays;
+    Table rt({"model", "batch", "iters", "replay off (ms)",
+              "replay on (ms)", "speedup", "executed", "synthesized",
+              "identical"});
+    for (std::size_t i = 0; i < n_rcases; ++i) {
+        ReplayResult res = runReplay(rcases[i], opt);
+        ok = ok && res.identical;
+        if (res.speedup < min_replay_speedup) {
+            std::cerr << res.name << "@" << res.batch
+                      << ": REPLAY SPEEDUP " << cellDouble(res.speedup, 2)
+                      << "x BELOW " << cellDouble(min_replay_speedup, 1)
+                      << "x\n";
+            ok = false;
+        }
+        rt.addRow({res.name, cellInt(res.batch), cellInt(res.iterations),
+                   cellDouble(res.offMs, 0), cellDouble(res.onMs, 0),
+                   ratioCell(res.offMs, res.onMs), cellInt(res.executed),
+                   cellInt(res.replayed), res.identical ? "yes" : "NO"});
+        replays.push_back(std::move(res));
+    }
+    std::cout << "\nsteady-state replay ("
+              << (opt.quick ? 40 : 100) << "-iteration Capuchin sessions)\n";
+    rt.print(std::cout);
+
+    // ---- max-batch search -----------------------------------------------
+    const ModelKind *bcases =
+        opt.quick ? kQuickMaxBatchCases : kMaxBatchCases;
+    std::size_t n_bcases = opt.quick ? std::size(kQuickMaxBatchCases)
+                                     : std::size(kMaxBatchCases);
+    std::vector<MaxBatchResult> maxbatches;
+    Table bt({"model", "max batch", "new (ms)", "probes", "legacy (ms)",
+              "probes", "speedup", "equal"});
+    // Catches the search regressing to executed-everything probes;
+    // measured headroom is ~4x, so the floor trips well before noise.
+    const double min_search_speedup = opt.quick ? 1.5 : 2.0;
+    for (std::size_t i = 0; i < n_bcases; ++i) {
+        MaxBatchResult res = runMaxBatch(bcases[i]);
+        ok = ok && res.equal;
+        double sp = res.newMs > 0 ? res.legacyMs / res.newMs : 0;
+        if (sp < min_search_speedup) {
+            std::cerr << res.name << ": MAX-BATCH SEARCH SPEEDUP "
+                      << cellDouble(sp, 2) << "x BELOW "
+                      << cellDouble(min_search_speedup, 1) << "x\n";
+            ok = false;
+        }
+        bt.addRow({res.name, cellInt(res.newBatch),
+                   cellDouble(res.newMs, 0), cellInt(res.newProbes),
+                   cellDouble(res.legacyMs, 0), cellInt(res.legacyProbes),
+                   ratioCell(res.legacyMs, res.newMs),
+                   res.equal ? "yes" : "NO"});
+        maxbatches.push_back(std::move(res));
+    }
+    std::cout << "\nmax-batch search (findMaxBatch vs pre-capureplay "
+                 "bisection, [1, 4096], 60-iteration probes)\n";
+    bt.print(std::cout);
+
     // ---- BENCH_perf.json -------------------------------------------------
     std::ostringstream js;
     js << "{\n"
@@ -498,7 +760,35 @@ main(int argc, char **argv)
        << "  \"sweep\": {\"threads\": " << sweep.threads
        << ", \"serial_ms\": " << jsonNum(sweep.serialMs)
        << ", \"parallel_ms\": " << jsonNum(sweep.parallelMs)
-       << ", \"speedup\": " << jsonNum(sweep.speedup) << "},\n";
+       << ", \"speedup\": " << jsonNum(sweep.speedup) << "},\n"
+       << "  \"replay\": [\n";
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+        const ReplayResult &r = replays[i];
+        js << "    {\"model\": \"" << r.name << "\", \"batch\": "
+           << r.batch << ", \"iterations\": " << r.iterations
+           << ", \"off_ms\": " << jsonNum(r.offMs)
+           << ", \"on_ms\": " << jsonNum(r.onMs)
+           << ", \"speedup\": " << jsonNum(r.speedup)
+           << ", \"executed\": " << r.executed
+           << ", \"replayed\": " << r.replayed
+           << ", \"identical\": " << (r.identical ? "true" : "false")
+           << "}" << (i + 1 < replays.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n"
+       << "  \"max_batch\": [\n";
+    for (std::size_t i = 0; i < maxbatches.size(); ++i) {
+        const MaxBatchResult &b = maxbatches[i];
+        js << "    {\"model\": \"" << b.name << "\", \"max_batch\": "
+           << b.newBatch << ", \"new_ms\": " << jsonNum(b.newMs)
+           << ", \"new_probes\": " << b.newProbes
+           << ", \"legacy_ms\": " << jsonNum(b.legacyMs)
+           << ", \"legacy_probes\": " << b.legacyProbes
+           << ", \"search_speedup\": "
+           << jsonNum(b.newMs > 0 ? b.legacyMs / b.newMs : 0)
+           << ", \"equal\": " << (b.equal ? "true" : "false")
+           << "}" << (i + 1 < maxbatches.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n";
     // Flat gate metrics: "time-like, lower is better" keys the baseline
     // comparison scans for by name.
     js << "  \"gate\": {";
@@ -512,6 +802,10 @@ main(int argc, char **argv)
         gate("sim_wall_ms_" + m.name, m.simWallMs);
     }
     gate("alloc_ns_per_op", alloc.nsPerOp);
+    for (const ReplayResult &r : replays)
+        gate("replay_on_ms_" + r.name, r.onMs);
+    for (const MaxBatchResult &b : maxbatches)
+        gate("max_batch_ms_" + b.name, b.newMs);
     js << "}\n}\n";
 
     std::ofstream out(opt.out);

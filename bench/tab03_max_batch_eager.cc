@@ -31,6 +31,7 @@ main()
 
     Table t({"model", "TF-ori", "Capuchin", "gain",
              "paper (TF/Capu = gain)"});
+    double t0 = wallMs();
     for (ModelKind kind : eagerModeModels()) {
         std::int64_t tf = maxBatch(kind, System::TfOri, cfg);
         std::int64_t capu = maxBatch(kind, System::Capuchin, cfg);
@@ -41,7 +42,11 @@ main()
                   fmt("{}/{} = {}x", p[0], p[1],
                       cellDouble(static_cast<double>(p[1]) / p[0], 2))});
     }
+    double search_ms = wallMs() - t0;
     t.print(std::cout);
+    std::cout << "\nSearch wall: " << cellDouble(search_ms / 1000.0, 2)
+              << " s (memoized max-batch searches, replay-armed "
+                 "probes).\n";
 
     // Eager-vs-graph footprint check (§6.4.1): eager fits less.
     std::int64_t graph_tf = maxBatch(ModelKind::ResNet50, System::TfOri);

@@ -19,6 +19,7 @@ CapuchinPolicy::beginIteration(ExecContext &ctx)
     iterStart_ = ctx.now();
     driftAbs_ = 0.0;
     driftBase_ = 0.0;
+    feedbackShiftedThisIter_ = false;
     if (ctx.iteration() == 0) {
         measured_ = true;
         tracker_.reset();
@@ -382,13 +383,31 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
     auto shift = static_cast<Tick>(
         static_cast<double>(item.swapTime) * opts_.feedbackStep);
     shift = std::max<Tick>(shift, 1);
-    item.desiredSwapInStart =
-        item.desiredSwapInStart > shift ? item.desiredSwapInStart - shift
-                                        : 0;
-    triggersDirty_ = true;
+    Tick prev = item.desiredSwapInStart;
+    item.desiredSwapInStart = prev > shift ? prev - shift : 0;
     ++feedbackAdjustments_;
+    if (item.desiredSwapInStart != prev) {
+        // Only an actual trigger movement dirties the maps; a shift
+        // saturated at iteration start changes nothing, and treating it
+        // as instability would block replay at a genuine fixed point.
+        triggersDirty_ = true;
+        feedbackShiftedThisIter_ = true;
+    }
     if (auto *fe = ctx.faults())
         ++fe->stats().feedbackShifts;
+}
+
+bool
+CapuchinPolicy::stableForReplay() const
+{
+    // Stable only once guided execution has settled: plan built and its
+    // refinement frozen, no trigger re-pick pending, no re-measurement
+    // scheduled, and the just-ended iteration fired no feedback shift (a
+    // shift changes the next iteration's prefetch timing, so the digest
+    // fixed point has not actually been reached yet).
+    return !measured_ && planBuilt_ && refinementFrozen_ &&
+           !triggersDirty_ && !remeasureRequested_ &&
+           !feedbackShiftedThisIter_;
 }
 
 void

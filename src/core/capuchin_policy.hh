@@ -106,6 +106,7 @@ class CapuchinPolicy : public MemoryPolicy
                            Tick stall) override;
     void endIteration(ExecContext &ctx, const IterationStats &stats) override;
     bool onIterationAbort(ExecContext &ctx) override;
+    bool stableForReplay() const override;
 
     // --- introspection ---
     const AccessTracker &tracker() const { return tracker_; }
@@ -131,6 +132,8 @@ class CapuchinPolicy : public MemoryPolicy
     bool refinementFrozen_ = false;
     int replans_ = 0;
     int feedbackAdjustments_ = 0;
+    /** A feedback shift fired during the current/just-ended iteration. */
+    bool feedbackShiftedThisIter_ = false;
 
     // --- drift watchdog state (inert while driftThreshold == 0) ---
     int remeasures_ = 0;

@@ -41,6 +41,12 @@ Executor::Executor(const Graph &graph, ExecConfig config,
     }
     if (obs_.metricsOn())
         obs_.metrics.setCounter("run.seed", config_.seed);
+    // Replay needs determinism the fault engine's RNG-driven perturbations
+    // deny; with a fault plan active the armed bit stays off and the
+    // per-access hash is never maintained.
+    replayArmed_ = config_.replay.enabled && !faults_.enabled();
+    if (replayArmed_)
+        obs_.tracer.setTrackName(obs::kTrackReplay, "replay");
 }
 
 TensorState &
@@ -203,11 +209,14 @@ Executor::beginIterationState()
     stats_ = IterationStats{};
     stats_.iteration = iteration_;
     stats_.begin = std::max(clock_, compute_.busyUntil());
+    iterAccessHash_ = 0;
     mem_.gpu().resetPeak();
     for (auto &st : states_)
         st.accessCount = 0;
-    obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker,
-                        stats_.begin, "iter:" + std::to_string(iteration_));
+    if (obs_.tracing())
+        obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker,
+                            stats_.begin,
+                            "iter:" + std::to_string(iteration_));
     if (policy_)
         policy_->beginIteration(*this);
 }
@@ -245,9 +254,10 @@ Executor::finishIterationState()
         policy_->endIteration(*this, stats_);
     feedIterationMetrics();
     obs_.metrics.snapshotIteration(iteration_);
-    obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Marker,
-                         stats_.begin, stats_.duration(),
-                         "iteration:" + std::to_string(iteration_));
+    if (obs_.tracing())
+        obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Marker,
+                             stats_.begin, stats_.duration(),
+                             "iteration:" + std::to_string(iteration_));
     ++iteration_;
 }
 
@@ -774,6 +784,17 @@ Executor::recordAccess(TensorId id, Tick when, bool is_output, OpId op)
 {
     TensorState &st = state(id);
     ++st.accessCount;
+    if (replayArmed_) {
+        // Iteration-relative tick: unsigned wrap when a kernel start
+        // precedes stats_.begin is deterministic and shift-invariant.
+        std::uint64_t h = iterAccessHash_;
+        h = hashCombine(h, static_cast<std::uint64_t>(id));
+        h = hashCombine(h, (static_cast<std::uint64_t>(st.accessCount) << 1) |
+                               (is_output ? 1u : 0u));
+        h = hashCombine(h, when - stats_.begin);
+        h = hashCombine(h, static_cast<std::uint64_t>(op));
+        iterAccessHash_ = h;
+    }
     if (obs_.tracing()) {
         obs::TraceEvent tev;
         tev.ts = when;
@@ -911,13 +932,20 @@ Executor::feedIterationMetrics()
     m.add("prefetch.busy_ns", stats_.prefetchBusy);
     m.add("prefetch.stall_ns", stats_.prefetchStall);
 
+    // Raw allocator counters don't advance during synthesized iterations;
+    // the accumulated replay offsets keep the mirrored totals seamless.
     const BfcStats &bfc = mem_.gpu().stats();
-    m.setCounter("bfc.splits", bfc.splitCount);
-    m.setCounter("bfc.merges", bfc.mergeCount);
-    m.setCounter("bfc.failed_allocs", bfc.failedAllocs);
+    m.setCounter("bfc.splits",
+                 bfc.splitCount + replayCounterOffset("bfc.splits"));
+    m.setCounter("bfc.merges",
+                 bfc.mergeCount + replayCounterOffset("bfc.merges"));
+    m.setCounter("bfc.failed_allocs",
+                 bfc.failedAllocs + replayCounterOffset("bfc.failed_allocs"));
     m.set("bfc.fragmentation", mem_.gpu().fragmentation());
     m.set("gpu.peak_bytes", static_cast<double>(stats_.peakGpuBytes));
-    m.setCounter("host.failed_allocs", mem_.host().failedAllocs());
+    m.setCounter("host.failed_allocs",
+                 mem_.host().failedAllocs() +
+                     replayCounterOffset("host.failed_allocs"));
 
     if (faults_.enabled()) {
         const faults::FaultStats &fs = faults_.stats();
@@ -942,6 +970,56 @@ Executor::feedIterationMetrics()
     }
     m.set("prefetch.hidden_ratio", hidden);
     m.set("iter.duration_ns", static_cast<double>(stats_.duration()));
+}
+
+// --- capureplay ---
+
+void
+Executor::replayApply(const ReplayShift &shift)
+{
+    clock_ += shift.dt;
+    hostClock_ += shift.dt;
+    computeBarrier_ += shift.dt;
+    compute_.replayShift(shift.dt, shift.computeBusy);
+    pcie_.replayShift(shift.dt, shift.d2hBusy, shift.h2dBusy);
+    mem_.shiftPendingFrees(shift.dt);
+    ++iteration_;
+}
+
+void
+Executor::replayBumpWeight(TensorId id, int bumps)
+{
+    if (bumps <= 0)
+        return;
+    TensorState &st = state(id);
+    st.weightVersion += bumps;
+    // Same recompute runOp's Update handling performs: the fingerprint
+    // depends only on the final version, not on the bump-by-bump path.
+    st.fingerprint =
+        hashCombine(hashString(graph_.tensor(id).name.c_str()),
+                    static_cast<std::uint64_t>(st.weightVersion));
+    st.expectedFp = st.fingerprint;
+}
+
+void
+Executor::addReplayCounterOffset(std::string_view name, std::uint64_t delta)
+{
+    for (auto &[key, off] : replayCounterOffsets_) {
+        if (key == name) {
+            off += delta;
+            return;
+        }
+    }
+    replayCounterOffsets_.emplace_back(std::string(name), delta);
+}
+
+std::uint64_t
+Executor::replayCounterOffset(std::string_view name) const
+{
+    for (const auto &[key, off] : replayCounterOffsets_)
+        if (key == name)
+            return off;
+    return 0;
 }
 
 // --- ExecContext queries ---

@@ -31,6 +31,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "exec/cost_model.hh"
@@ -88,6 +90,53 @@ class OomError : public std::runtime_error
     OomContext context;
 };
 
+/**
+ * Steady-state iteration replay (capureplay, exec/replay.hh). Once two
+ * consecutive executed iterations produce identical digests, remaining
+ * iterations are synthesized from the cached iteration delta instead of
+ * re-executed; periodic audit iterations re-execute for real and must
+ * reproduce the digest bit-for-bit or replay falls back to execution.
+ */
+struct ReplayOptions
+{
+    /**
+     * Master switch. Off by default: the library preserves the exact
+     * per-iteration hook sequence unless a caller opts in (capusim turns
+     * it on). Forced off whenever a fault plan is active.
+     */
+    bool enabled = false;
+    /**
+     * Execute a real audit iteration after this many consecutive
+     * synthesized ones. 0 disables auditing (trusted replay).
+     */
+    int auditInterval = 16;
+    /** Audit digest mismatches tolerated before replay disables itself. */
+    int maxAuditMismatches = 2;
+};
+
+/** Executed-vs-synthesized iteration accounting for one session run. */
+struct ReplaySummary
+{
+    int executed = 0;
+    int replayed = 0;
+    int audits = 0;
+    int auditMismatches = 0;
+};
+
+/**
+ * The uniform time warp one synthesized iteration applies to every
+ * absolute-tick resource: `dt` on the time axis plus the template
+ * iteration's per-stream occupancy (so utilization accounting stays
+ * exact across replayed spans).
+ */
+struct ReplayShift
+{
+    Tick dt = 0;
+    Tick computeBusy = 0;
+    Tick d2hBusy = 0;
+    Tick h2dBusy = 0;
+};
+
 struct ExecConfig
 {
     GpuDeviceSpec device = GpuDeviceSpec::p100();
@@ -142,6 +191,9 @@ struct ExecConfig
 
     /** Seed for the fault engine's RNG; recorded in metrics and traces. */
     std::uint64_t seed = 0;
+
+    /** Steady-state iteration replay (capureplay). */
+    ReplayOptions replay;
 };
 
 struct IterationStats
@@ -279,6 +331,48 @@ class Executor : public ExecContext
     /** Duration the cost model assigns to `op` with its preferred algo. */
     Tick nominalOpDuration(OpId id) const;
 
+    // --- capureplay hooks (exec/replay.hh drives these) ---
+
+    /**
+     * Whether replay support is armed: config().replay.enabled and no
+     * fault plan active. When armed the executor additionally maintains
+     * the per-iteration access-stream hash.
+     */
+    bool replayArmed() const { return replayArmed_; }
+
+    /**
+     * FNV-accumulated hash of the current/last iteration's access stream
+     * (tensor, access index, iteration-relative tick, op). Valid only
+     * while replayArmed(); part of the iteration digest.
+     */
+    std::uint64_t iterationAccessHash() const { return iterAccessHash_; }
+
+    /** Blocking-swap fence tick (digest component). */
+    Tick computeBarrierTick() const { return computeBarrier_; }
+
+    /**
+     * Advance the whole simulated machine by one synthesized iteration:
+     * shift clocks, stream horizons and pending deferred frees by
+     * `shift.dt`, credit per-stream busy time, and bump the iteration
+     * counter. Only meaningful at an iteration boundary.
+     */
+    void replayApply(const ReplayShift &shift);
+
+    /**
+     * Apply `bumps` weight-update version increments to tensor `id` and
+     * recompute its fingerprint, exactly as `bumps` executed Update ops
+     * would have.
+     */
+    void replayBumpWeight(TensorId id, int bumps);
+
+    /**
+     * Synthesized iterations leave raw allocator counters (bfc.splits,
+     * ...) behind reality; feedIterationMetrics adds these accumulated
+     * offsets when mirroring them into the registry so audited executed
+     * iterations report seamless totals.
+     */
+    void addReplayCounterOffset(std::string_view name, std::uint64_t delta);
+
   private:
     const Graph &graph_;
     ExecConfig config_;
@@ -306,6 +400,14 @@ class Executor : public ExecContext
     Tick currentOpEnd_ = 0;
 
     IterationStats stats_;
+
+    // --- capureplay state ---
+    bool replayArmed_ = false;
+    std::uint64_t iterAccessHash_ = 0;
+    /** (metric name, accumulated offset); tiny — linear scan suffices. */
+    std::vector<std::pair<std::string, std::uint64_t>> replayCounterOffsets_;
+
+    std::uint64_t replayCounterOffset(std::string_view name) const;
 
     // --- helpers ---
     TensorState &state(TensorId id);

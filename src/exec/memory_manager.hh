@@ -66,6 +66,16 @@ class MemoryManager
     /** Drain every pending free (end of simulation). */
     void drainAll();
 
+    /** capureplay: shift every pending deferred free by `delta`. */
+    void shiftPendingFrees(Tick delta) { deferred_.shiftPending(delta); }
+
+    /** Pending (maturity, handle) pairs in application order (digests). */
+    std::vector<std::pair<Tick, MemHandle>>
+    pendingFrees() const
+    {
+        return deferred_.snapshotPending();
+    }
+
     /**
      * Emit gpu.bytes_in_use counter samples on the memory track after each
      * allocation/immediate free. nullptr detaches.

@@ -237,6 +237,16 @@ class MemoryPolicy
     }
 
     /**
+     * Whether the policy's per-iteration decision state has reached a
+     * fixed point: no pending plan rebuilds, trigger adjustments or
+     * re-measurements. Steady-state replay (capureplay) only synthesizes
+     * iterations while this holds — an adapting policy must keep
+     * executing for real so its hooks observe the run. Policies without
+     * cross-iteration state are trivially stable.
+     */
+    virtual bool stableForReplay() const { return true; }
+
+    /**
      * The iteration died with OomError. Return true to have the executor
      * abort-and-reset the iteration and run it again (the policy should
      * have learned something — e.g. Capuchin builds a plan from the

@@ -1,5 +1,9 @@
 #include "exec/session.hh"
 
+#include <algorithm>
+#include <map>
+
+#include "exec/replay.hh"
 #include "support/logging.hh"
 
 namespace capu
@@ -50,13 +54,22 @@ Session::run(int iterations)
 {
     SessionResult result;
     result.graphStats = graph_.stats();
+    result.iterations.reserve(static_cast<std::size_t>(
+        std::max(iterations, 0)));
+    ReplayEngine replay(*exec_, policy_.get());
     try {
         exec_->setup();
         int completed = 0;
         int aborts = 0;
         while (completed < iterations) {
+            if (replay.canReplay()) {
+                result.iterations.push_back(replay.synthesize());
+                ++completed;
+                continue;
+            }
             try {
                 result.iterations.push_back(exec_->runIteration());
+                replay.observe(result.iterations.back());
                 ++completed;
             } catch (const OomError &e) {
                 // Give the policy one chance per abort to learn from the
@@ -68,6 +81,7 @@ Session::run(int iterations)
                 }
                 ++aborts;
                 exec_->abortIteration();
+                replay.noteAbort();
             }
         }
     } catch (const OomError &e) {
@@ -76,6 +90,7 @@ Session::run(int iterations)
         result.oomRequestedBytes = e.requestedBytes;
         result.oomContext = e.context;
     }
+    result.replay = replay.summary();
     return result;
 }
 
@@ -92,26 +107,73 @@ findMaxBatch(const GraphBuilderFn &builder,
              const PolicyFactoryFn &make_policy, const ExecConfig &config,
              int iterations, std::int64_t lo, std::int64_t hi)
 {
+    // Probe sessions run with steady-state replay armed: once a probe's
+    // iterations stabilize the remainder are synthesized, which cannot
+    // change the OOM verdict (replay is bit-identity-audited, and OOM
+    // always strikes during executed iterations) but makes long
+    // feasibility horizons cheap. Faulty configs disarm replay inside
+    // the executor, so this is a no-op under chaos testing.
+    ExecConfig probe_config = config;
+    probe_config.replay.enabled = true;
+    // Sessions are expensive; robust() re-probes batch - step and the
+    // bisection revisits midpoints, so feasibility is memoized per batch.
+    std::map<std::int64_t, bool> memo;
     auto feasible = [&](std::int64_t batch) {
-        Session session(builder(batch), config, make_policy());
-        return !session.run(iterations).oom;
+        auto it = memo.find(batch);
+        if (it != memo.end())
+            return it->second;
+        Session session(builder(batch), probe_config, make_policy());
+        bool ok = !session.run(iterations).oom;
+        memo.emplace(batch, ok);
+        return ok;
     };
     // Fragmentation makes raw feasibility locally non-monotone (batch b
     // can fail while b+20 happens to tile the arena); a batch only counts
-    // if a slightly smaller one also works, which suppresses lucky spikes.
+    // if a slightly smaller one also works, which suppresses lucky
+    // spikes. Any already-memoized feasible batch inside the step window
+    // serves as that witness, so the clustered probes of a converging
+    // bisection rarely pay for a second session.
     auto robust = [&](std::int64_t batch) {
+        if (!feasible(batch))
+            return false;
         std::int64_t step = std::max<std::int64_t>(1, batch / 32);
-        return feasible(batch) &&
-               (batch - step < lo || feasible(batch - step));
+        if (batch - step < lo)
+            return true;
+        for (auto it = memo.lower_bound(batch - step);
+             it != memo.end() && it->first < batch; ++it) {
+            if (it->second)
+                return true;
+        }
+        return feasible(batch - step);
     };
 
     if (!feasible(lo))
         return 0;
-    // Invariant: lo feasible, hi + 1 considered infeasible.
-    if (robust(hi))
-        return hi;
+    // Gallop up from lo with doubling strides: simulation cost grows with
+    // batch size, so bracketing the boundary with cheap small-batch
+    // sessions beats opening the search with a hi-sized run. The gallop
+    // trusts single probes; the bracket anchor is re-qualified below.
     std::int64_t good = lo;
-    std::int64_t bad = hi;
+    std::int64_t bad = hi + 1;
+    for (std::int64_t gap = 1;; gap *= 2) {
+        std::int64_t probe = std::min(lo + gap, hi);
+        if (!feasible(probe)) {
+            bad = probe;
+            break;
+        }
+        good = probe;
+        if (probe == hi)
+            break;
+    }
+    // Demote a lucky-spike anchor before bisecting (at most one extra
+    // session: feasible(good) is already memoized).
+    if (good > lo && !robust(good)) {
+        bad = good;
+        good = lo;
+    }
+    if (good == hi)
+        return hi;
+    // Invariant: good robust-feasible (or lo), bad considered infeasible.
     while (good + 1 < bad) {
         std::int64_t mid = good + (bad - good) / 2;
         if (robust(mid))

@@ -30,6 +30,8 @@ struct SessionResult
     OomContext oomContext;
     std::vector<IterationStats> iterations;
     GraphStats graphStats;
+    /** capureplay accounting (all-executed when replay is off). */
+    ReplaySummary replay;
 
     /** Multi-line OOM diagnosis (empty when the run completed). */
     std::string postMortem() const;
@@ -77,8 +79,12 @@ using PolicyFactoryFn = std::function<std::unique_ptr<MemoryPolicy>()>;
 
 /**
  * Largest batch size in [lo, hi] that trains `iterations` iterations
- * without OOM (binary search; assumes feasibility is monotone in batch).
- * Returns 0 if even `lo` fails.
+ * without OOM. Returns 0 if even `lo` fails.
+ *
+ * Probe-efficient: per-batch feasibility is memoized (the robustness
+ * check and bisection midpoints revisit batches), and the search gallops
+ * up from `lo` with doubling strides before bisecting — cheap small-batch
+ * sessions bracket the boundary instead of opening with a `hi`-sized run.
  */
 std::int64_t findMaxBatch(const GraphBuilderFn &builder,
                           const PolicyFactoryFn &make_policy,

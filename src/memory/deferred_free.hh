@@ -48,6 +48,15 @@ class DeferredFreeQueue
     /** Whether `handle` has a posted-but-unmatured free. */
     bool isPending(MemHandle handle) const;
 
+    /**
+     * capureplay: add `delta` to every pending maturity. Sequence numbers
+     * are preserved, so equal-maturity frees still apply in post order.
+     */
+    void shiftPending(Tick delta);
+
+    /** Pending (maturity, handle) pairs in application order (digests). */
+    std::vector<std::pair<Tick, MemHandle>> snapshotPending() const;
+
   private:
     std::unordered_multiset<MemHandle> pendingHandles_;
     struct Entry

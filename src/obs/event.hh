@@ -32,7 +32,9 @@ namespace capu::obs
  * loop's stalls and OOM-protocol steps; Policy carries decision instants;
  * Memory carries allocator counter samples; Fault carries injected
  * capuchaos episodes and Recovery the pipeline's degradation reactions,
- * so chaos traces show cause and reaction side by side.
+ * so chaos traces show cause and reaction side by side. Replay marks
+ * synthesized steady-state iterations (capureplay) so a trace always
+ * distinguishes executed from replayed time.
  */
 enum Track : std::uint32_t
 {
@@ -44,6 +46,7 @@ enum Track : std::uint32_t
     kTrackMemory = 5,
     kTrackFault = 6,
     kTrackRecovery = 7,
+    kTrackReplay = 8,
 };
 
 /** How the event maps onto the Chrome trace_event phase model. */

@@ -44,6 +44,30 @@ Histogram::bucket(std::size_t i) const
     return i < kBuckets ? buckets_[i] : 0;
 }
 
+Histogram
+Histogram::deltaSince(const Histogram &prev) const
+{
+    Histogram d;
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        d.buckets_[i] = buckets_[i] - prev.buckets_[i];
+    d.count_ = count_ - prev.count_;
+    d.sum_ = sum_ - prev.sum_;
+    d.min_ = min_;
+    d.max_ = max_;
+    return d;
+}
+
+void
+Histogram::merge(const Histogram &delta)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += delta.buckets_[i];
+    count_ += delta.count_;
+    sum_ += delta.sum_;
+    min_ = std::min(min_, delta.min_);
+    max_ = std::max(max_, delta.max_);
+}
+
 std::size_t
 Histogram::usedBuckets() const
 {
@@ -110,6 +134,18 @@ MetricsRegistry::observe(std::string_view name, std::uint64_t value)
     if (it == histograms_.end())
         it = histograms_.emplace(std::string(name), Histogram{}).first;
     it->second.observe(value);
+}
+
+void
+MetricsRegistry::mergeHistogram(std::string_view name,
+                                const Histogram &delta)
+{
+    if (!enabled_)
+        return;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it->second.merge(delta);
 }
 
 std::uint64_t

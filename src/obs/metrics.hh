@@ -45,6 +45,17 @@ class Histogram
     std::uint64_t bucket(std::size_t i) const;
     std::size_t usedBuckets() const;
 
+    /**
+     * This histogram minus `prev` (an earlier copy of the same histogram):
+     * bucket counts, count and sum subtract; min/max carry the current
+     * absolutes so merge() can restore them. Used by capureplay to record
+     * one steady iteration's worth of observations.
+     */
+    Histogram deltaSince(const Histogram &prev) const;
+
+    /** Fold a deltaSince() result back in (replayed-iteration re-apply). */
+    void merge(const Histogram &delta);
+
   private:
     std::uint64_t buckets_[kBuckets] = {};
     std::uint64_t count_ = 0;
@@ -70,6 +81,8 @@ class MetricsRegistry
     void set(std::string_view name, double value);
     /** Record `value` into histogram `name`. */
     void observe(std::string_view name, std::uint64_t value);
+    /** Fold a Histogram::deltaSince() result into `name` (capureplay). */
+    void mergeHistogram(std::string_view name, const Histogram &delta);
 
     std::uint64_t counter(std::string_view name) const;
     double gauge(std::string_view name) const;

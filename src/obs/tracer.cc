@@ -174,6 +174,25 @@ Tracer::spanEnd(EventKind kind, std::int64_t id, Tick ts, std::string name)
 }
 
 std::vector<TraceEvent>
+Tracer::eventsSince(std::uint64_t mark) const
+{
+    std::vector<TraceEvent> out;
+    // Sequence number of the oldest event still buffered.
+    std::uint64_t oldest = recorded_ - buf_.size();
+    if (mark >= recorded_)
+        return out;
+    std::uint64_t first = std::max(mark, oldest);
+    out.reserve(static_cast<std::size_t>(recorded_ - first));
+    std::uint64_t seq = oldest;
+    forEach([&](const TraceEvent &ev) {
+        if (seq >= first)
+            out.push_back(ev);
+        ++seq;
+    });
+    return out;
+}
+
+std::vector<TraceEvent>
 Tracer::chronological() const
 {
     std::vector<TraceEvent> out;

@@ -111,6 +111,14 @@ class Tracer
     /** Buffered events stable-sorted by timestamp. */
     std::vector<TraceEvent> chronological() const;
 
+    /**
+     * Copies of the events recorded at or after sequence number `mark`
+     * (a prior recorded() value), in emission order. Events that have
+     * already been evicted by ring wrap-around are silently missing —
+     * callers sampling one iteration should size the ring accordingly.
+     */
+    std::vector<TraceEvent> eventsSince(std::uint64_t mark) const;
+
   private:
     std::vector<TraceEvent> buf_;
     std::vector<std::pair<std::uint32_t, std::string>> trackNames_;

@@ -87,6 +87,14 @@ class PcieLink
     Stream &lane(CopyDir dir);
     const Stream &lane(CopyDir dir) const;
 
+    /** capureplay: shift both lanes by one synthesized iteration. */
+    void
+    replayShift(Tick dt, Tick d2h_busy, Tick h2d_busy)
+    {
+        d2h_.replayShift(dt, d2h_busy);
+        h2d_.replayShift(dt, h2d_busy);
+    }
+
     double bandwidth() const { return bandwidth_; }
 
     void reset();

@@ -64,6 +64,20 @@ class Stream
     /** Total occupancy since construction / the last reset(). */
     Tick busyTime() const { return busyTicks_; }
 
+    /**
+     * capureplay: advance this stream's state by one synthesized steady
+     * iteration — `dt` on the time axis, `busy` occupancy ticks — without
+     * executing work or emitting events (the replay engine re-emits the
+     * template iteration's events itself).
+     */
+    void
+    replayShift(Tick dt, Tick busy)
+    {
+        busyUntil_ += dt;
+        lastStart_ += dt;
+        busyTicks_ += busy;
+    }
+
     /** Reset the stream to idle at tick 0 (new simulation). */
     void reset();
 

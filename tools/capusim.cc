@@ -65,6 +65,8 @@ struct Options
     std::uint64_t seed = 0;
     obs::ObsLevel obsLevel = obs::ObsLevel::Off;
     bool obsLevelSet = false;
+    bool replay = true;
+    int replayAudit = -1; ///< -1 = library default
 };
 
 const std::map<std::string, ModelKind> kModels = {
@@ -190,6 +192,14 @@ usage()
         "                     else CSV); implies --obs-level metrics\n"
         "  --obs-selfcheck    run the workload at every obs level and\n"
         "                     report the observability overhead\n"
+        "  --replay           steady-state iteration replay: once the\n"
+        "                     policy stabilizes, synthesize iterations\n"
+        "                     from the cached fixed point instead of\n"
+        "                     re-executing (default on; bit-identical,\n"
+        "                     audited periodically)\n"
+        "  --no-replay        execute every iteration for real\n"
+        "  --replay-audit <n> re-execute an audit iteration every n\n"
+        "                     synthesized ones (0 = never audit)\n"
         "  --faults <spec>    capuchaos fault plan, e.g.\n"
         "                     \"pcie:0.5@2000-4000;jitter:0.1;hostcap:8GiB;"
         "swapfail:p=0.01,retries=3\"\n"
@@ -248,6 +258,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsFile = next();
         else if (a == "--obs-selfcheck")
             opt.obsSelfcheck = true;
+        else if (a == "--replay")
+            opt.replay = true;
+        else if (a == "--no-replay")
+            opt.replay = false;
+        else if (a == "--replay-audit")
+            opt.replayAudit = std::atoi(next());
         else if (a == "--faults")
             opt.faults = next();
         else if (a == "--seed")
@@ -315,6 +331,11 @@ main(int argc, char **argv)
         }
         cfg.faults = faults::parseFaultSpec(spec_text);
         const bool faults_on = cfg.faults.enabled();
+        // Long --iters runs auto-replay; the executor force-disarms it
+        // whenever a fault plan is active.
+        cfg.replay.enabled = opt.replay;
+        if (opt.replayAudit >= 0)
+            cfg.replay.auditInterval = opt.replayAudit;
 
         if (opt.obsSelfcheck) {
             // Self-measurement: run the same workload at every obs level,
@@ -486,6 +507,12 @@ main(int argc, char **argv)
                       << repeat << " repeats (" << warmup
                       << " warmup), min " << sorted.front() << " ms, max "
                       << sorted.back() << " ms\n";
+        }
+        if (!opt.csv && (r.replay.replayed > 0 || r.replay.audits > 0)) {
+            std::cout << "replay: " << r.replay.executed << " executed, "
+                      << r.replay.replayed << " synthesized, "
+                      << r.replay.audits << " audits ("
+                      << r.replay.auditMismatches << " mismatches)\n";
         }
         if (faults_on) {
             const faults::FaultStats &fs =
