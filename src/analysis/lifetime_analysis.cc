@@ -1,0 +1,294 @@
+#include "analysis/lifetime_analysis.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace capu
+{
+
+namespace
+{
+
+const AccessRecord *
+findAccess(const AccessTracker &tracker, TensorId tensor, int access_index)
+{
+    for (const AccessRecord &rec : tracker.accessesOf(tensor)) {
+        if (rec.accessIndex == access_index)
+            return &rec;
+    }
+    return nullptr;
+}
+
+void
+diag(LintReport &report, LintSeverity sev, std::string rule, TensorId tensor,
+     int access, std::string message)
+{
+    report.diags.push_back(LintDiagnostic{sev, std::move(rule), tensor,
+                                          access, std::move(message)});
+}
+
+/** One placed item: trace anchors resolved, alloc/free ticks derived. */
+struct Placed
+{
+    const PlannedEviction *item = nullptr;
+    Tick evictTime = 0;
+    Tick backTime = 0;
+    Tick freedAt = 0;     ///< GPU chunk released
+    Tick backAllocAt = 0; ///< GPU chunk re-acquired
+};
+
+} // namespace
+
+LifetimeResult
+analyzeLifetimes(const Plan &plan, const Graph &graph,
+                 const AccessTracker &tracker,
+                 const PlanChecker::BytesFn &tensor_bytes,
+                 const PlanChecker::SwapTimeFn &swap_time,
+                 const LifetimeOptions &opts)
+{
+    LifetimeResult result;
+    LintReport &report = result.report;
+
+    // --- Phase 1: place every item on the measured timeline. -------------
+    std::unordered_map<TensorId, Placed> placed;
+    for (std::size_t i = 0; i < plan.items.size(); ++i) {
+        const PlannedEviction &item = plan.items[i];
+        if (placed.count(item.tensor) != 0u) {
+            diag(report, LintSeverity::Error, "lifetime-duplicate-item",
+                 item.tensor, item.evictAfterAccess,
+                 fmt("tensor {} has overlapping lifetimes: planned twice "
+                     "(item #{} duplicates an earlier item)",
+                     item.tensor, i));
+            continue;
+        }
+        const AccessRecord *evict_rec =
+            findAccess(tracker, item.tensor, item.evictAfterAccess);
+        const AccessRecord *back_rec =
+            findAccess(tracker, item.tensor, item.backAccess);
+        if (evict_rec == nullptr || back_rec == nullptr) {
+            int missing = evict_rec == nullptr ? item.evictAfterAccess
+                                               : item.backAccess;
+            diag(report, LintSeverity::Error, "lifetime-missing-access",
+                 item.tensor, missing,
+                 fmt("cannot place tensor {} on the timeline: access #{} "
+                     "is not in the measured trace",
+                     item.tensor, missing));
+            continue;
+        }
+        if (item.backAccess <= item.evictAfterAccess) {
+            diag(report, LintSeverity::Error, "lifetime-empty-interval",
+                 item.tensor, item.backAccess,
+                 fmt("tensor {} eviction interval (#{}, #{}) is empty or "
+                     "inverted — the abstract state never leaves DEVICE",
+                     item.tensor, item.evictAfterAccess, item.backAccess));
+            continue;
+        }
+
+        Placed p;
+        p.item = &item;
+        p.evictTime = evict_rec->time;
+        p.backTime = back_rec->time;
+        Tick st = swap_time(tensor_bytes(item.tensor));
+        p.freedAt = item.mode == RegenChoice::Swap ? p.evictTime + st
+                                                   : p.evictTime;
+        p.backAllocAt = p.backTime > st ? p.backTime - st : 0;
+        if (item.mode == RegenChoice::Swap &&
+            item.triggerTensor != kInvalidTensor) {
+            const AccessRecord *trig =
+                findAccess(tracker, item.triggerTensor, item.triggerAccess);
+            if (trig != nullptr) {
+                if (trig->time <= p.evictTime) {
+                    diag(report, LintSeverity::Warning,
+                         "lifetime-double-residency", item.tensor,
+                         item.triggerAccess,
+                         fmt("tensor {} in-trigger fires at {} while the "
+                             "tensor is still resident (evicted at {}) — "
+                             "two device buffers would coexist",
+                             item.tensor, trig->time, p.evictTime));
+                } else if (trig->time > p.freedAt &&
+                           trig->time < p.backAllocAt) {
+                    p.backAllocAt = trig->time; // prefetch allocates early
+                }
+            }
+        }
+        if (item.mode == RegenChoice::Recompute)
+            p.backAllocAt = p.backTime;
+        if (p.backAllocAt < p.freedAt)
+            p.backAllocAt = p.freedAt; // exposed swap: no evicted window
+        placed.emplace(item.tensor, p);
+    }
+
+    // --- Phase 2: interval sets + use-after-free. ------------------------
+    for (const auto &[tensor, p] : placed) {
+        const auto &recs = tracker.accessesOf(tensor);
+        Tick first = recs.empty() ? p.evictTime : recs.front().time;
+        Tick last = recs.empty() ? p.backTime : recs.back().time;
+
+        TensorLifetime lt;
+        lt.tensor = tensor;
+        if (p.freedAt < p.backAllocAt) {
+            lt.device.push_back({first, p.freedAt});
+            lt.device.push_back({p.backAllocAt, last + 1});
+            lt.evicted.push_back({p.freedAt, p.backAllocAt});
+        } else {
+            lt.device.push_back({first, last + 1});
+        }
+        if (p.item->mode == RegenChoice::Swap)
+            lt.host.push_back({p.evictTime, p.backTime + 1});
+        result.lifetimes.push_back(lt);
+
+        // Any access with an index strictly inside the eviction interval
+        // reads a buffer the abstract state says is gone.
+        for (const AccessRecord &rec : recs) {
+            if (rec.accessIndex > p.item->evictAfterAccess &&
+                rec.accessIndex < p.item->backAccess) {
+                diag(report, LintSeverity::Error, "lifetime-use-after-free",
+                     tensor, rec.accessIndex,
+                     fmt("access #{} of tensor {} falls in its evicted "
+                         "interval (freed at {}, re-allocated at {})",
+                         rec.accessIndex, tensor, p.freedAt, p.backAllocAt));
+            }
+        }
+    }
+
+    // --- Phase 3: recompute lineage over the interval sets. --------------
+    // A replay source is available at replay time if it is a weight, alive
+    // in the trace, or host-backed by a swap item; a dropped source chains
+    // through its own producer — acyclically and within budget.
+    auto evicted_across = [&](TensorId id, Tick at) -> const Placed * {
+        auto it = placed.find(id);
+        if (it == placed.end())
+            return nullptr;
+        const Placed *p = &it->second;
+        return (p->evictTime < at && at < p->backTime) ? p : nullptr;
+    };
+
+    for (const auto &[tensor, p] : placed) {
+        if (p.item->mode != RegenChoice::Recompute)
+            continue;
+        Tick replay_at = p.backTime;
+        std::unordered_set<TensorId> on_path;
+        std::unordered_set<TensorId> satisfied;
+        std::unordered_set<OpId> replay_ops;
+        bool budget_blown = false;
+
+        std::function<bool(TensorId)> replay;
+        std::function<bool(TensorId)> need;
+
+        replay = [&](TensorId t) -> bool {
+            OpId prod = graph.tensor(t).producer;
+            if (prod == kInvalidOp || !graph.op(prod).recomputable) {
+                diag(report, LintSeverity::Error, "lifetime-source-window",
+                     tensor, p.item->backAccess,
+                     fmt("replay of tensor {} needs tensor {}, provably "
+                         "non-resident at replay time {} with no host copy "
+                         "and no recomputable producer",
+                         tensor, t, replay_at));
+                return false;
+            }
+            if (on_path.count(t) != 0u) {
+                diag(report, LintSeverity::Error, "lifetime-lineage-cycle",
+                     tensor, p.item->backAccess,
+                     fmt("replay of tensor {} revisits tensor {} — the "
+                         "lineage graph cycles",
+                         tensor, t));
+                return false;
+            }
+            on_path.insert(t);
+            replay_ops.insert(prod);
+            if (replay_ops.size() > opts.maxRecomputeChain) {
+                if (!budget_blown) {
+                    budget_blown = true;
+                    diag(report, LintSeverity::Warning,
+                         "lifetime-chain-budget", tensor, p.item->backAccess,
+                         fmt("replay of tensor {} chains through more than "
+                             "{} ops",
+                             tensor, opts.maxRecomputeChain));
+                }
+                on_path.erase(t);
+                return false;
+            }
+            for (TensorId in : graph.op(prod).inputs) {
+                if (!need(in)) {
+                    on_path.erase(t);
+                    return false;
+                }
+            }
+            on_path.erase(t);
+            satisfied.insert(t);
+            return true;
+        };
+
+        need = [&](TensorId t) -> bool {
+            if (satisfied.count(t) != 0u)
+                return true;
+            if (graph.tensor(t).kind == TensorKind::Weight)
+                return true;
+            if (const Placed *ev = evicted_across(t, replay_at)) {
+                if (ev->item->mode == RegenChoice::Swap)
+                    return true; // host interval covers replay_at
+                return replay(t);
+            }
+            const auto &recs = tracker.accessesOf(t);
+            bool alive = !recs.empty() && recs.front().time <= replay_at &&
+                         recs.back().time >= replay_at;
+            if (alive)
+                return true;
+            return replay(t);
+        };
+
+        replay(tensor);
+    }
+
+    // --- Phase 4: static peak-memory bound. ------------------------------
+    std::uint64_t weight_bytes = graph.bytesOfKind(TensorKind::Weight);
+    std::map<Tick, std::int64_t> deltas;
+    for (const TensorDesc &t : graph.tensors()) {
+        if (t.kind == TensorKind::Weight)
+            continue;
+        const auto &recs = tracker.accessesOf(t.id);
+        if (recs.empty())
+            continue;
+        auto b = static_cast<std::int64_t>(tensor_bytes(t.id));
+        if (b == 0)
+            continue;
+        deltas[recs.front().time] += b;
+        deltas[recs.back().time + 1] -= b;
+        auto it = placed.find(t.id);
+        if (it != placed.end() && it->second.freedAt < it->second.backAllocAt) {
+            deltas[it->second.freedAt] -= b;
+            deltas[it->second.backAllocAt] += b;
+        }
+    }
+    std::int64_t usage = 0;
+    std::int64_t peak = 0;
+    Tick peak_at = 0;
+    for (const auto &[t, d] : deltas) {
+        usage += d;
+        if (usage > peak) {
+            peak = usage;
+            peak_at = t;
+        }
+    }
+    result.peakBound =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(peak, 0)) +
+        weight_bytes;
+    result.peakAt = peak_at;
+    if (opts.gpuCapacity > 0 &&
+        result.peakBound > opts.gpuCapacity + opts.capacitySlack) {
+        diag(report, LintSeverity::Warning, "lifetime-peak-overcommit",
+             kInvalidTensor, 0,
+             fmt("static peak bound {} (at {}) exceeds GPU capacity {} — "
+                 "passive mode will evict on demand",
+                 formatBytes(result.peakBound), peak_at,
+                 formatBytes(opts.gpuCapacity)));
+    }
+    return result;
+}
+
+} // namespace capu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * capuverify: tensor-lifetime dataflow analysis.
+ *
+ * Abstract-interprets a guided-execution plan over the measured access
+ * stream: each planned tensor's timeline is partitioned into *device*
+ * (chunk allocated on the GPU), *host* (pinned staging copy valid), and
+ * *evicted* (neither) intervals, using the same alloc/free conventions the
+ * executor applies (a swap frees at transfer completion and re-allocates
+ * at the in-trigger; a drop frees at the evicting kernel and re-allocates
+ * at the replay).
+ *
+ * From the interval sets it derives:
+ *   - a static peak-memory bound (activation sweep + weights) with the
+ *     tick where it is attained — the number capuserve's plan cache can
+ *     compare against a device capacity without executing the plan;
+ *   - `lifetime-use-after-free`: an access that falls in an evicted
+ *     interval (the executor would fault it back on demand — silently
+ *     destroying the plan's claimed savings);
+ *   - `lifetime-double-residency`: a prefetch triggered while the tensor
+ *     is still resident, momentarily holding two device buffers;
+ *   - `lifetime-source-window` / `lifetime-lineage-cycle` /
+ *     `lifetime-chain-budget`: recompute lineage proven against the
+ *     interval sets — every replay source must be resident, host-backed,
+ *     or itself regenerable at replay time, acyclically, within budget;
+ *   - structural errors (`lifetime-missing-access`,
+ *     `lifetime-empty-interval`, `lifetime-duplicate-item`) for items the
+ *     abstract interpretation cannot even place on the timeline.
+ *
+ * Overlaps with the PlanChecker by design: capulint --lifetime must stand
+ * alone as the second analysis the mutation corpus grades, so it cannot
+ * lean on PlanChecker findings.
+ */
+
+#ifndef CAPU_ANALYSIS_LIFETIME_ANALYSIS_HH
+#define CAPU_ANALYSIS_LIFETIME_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/plan_checker.hh"
+#include "core/access_tracker.hh"
+#include "core/policy_maker.hh"
+#include "graph/graph.hh"
+#include "support/units.hh"
+
+namespace capu
+{
+
+/** Half-open tick range [lo, hi). */
+struct LifetimeInterval
+{
+    Tick lo = 0;
+    Tick hi = 0;
+    bool
+    contains(Tick t) const
+    {
+        return lo <= t && t < hi;
+    }
+};
+
+/** Residency phases of one planned tensor. */
+struct TensorLifetime
+{
+    TensorId tensor = kInvalidTensor;
+    std::vector<LifetimeInterval> device;  ///< GPU chunk allocated
+    std::vector<LifetimeInterval> host;    ///< pinned staging copy valid
+    std::vector<LifetimeInterval> evicted; ///< neither (regen required)
+};
+
+struct LifetimeOptions
+{
+    /** GPU pool capacity; 0 disables the peak-bound rule. */
+    std::uint64_t gpuCapacity = 0;
+    /** Tolerated overshoot before lifetime-peak-overcommit fires. */
+    std::uint64_t capacitySlack = 0;
+    /** Max ops one replay may chain through (lifetime-chain-budget). */
+    std::size_t maxRecomputeChain = 256;
+};
+
+struct LifetimeResult
+{
+    LintReport report;
+    std::vector<TensorLifetime> lifetimes; ///< planned tensors only
+    std::uint64_t peakBound = 0; ///< static bound incl. weights
+    Tick peakAt = 0;             ///< tick where the bound is attained
+};
+
+LifetimeResult analyzeLifetimes(const Plan &plan, const Graph &graph,
+                                const AccessTracker &tracker,
+                                const PlanChecker::BytesFn &tensor_bytes,
+                                const PlanChecker::SwapTimeFn &swap_time,
+                                const LifetimeOptions &opts = {});
+
+} // namespace capu
+
+#endif // CAPU_ANALYSIS_LIFETIME_ANALYSIS_HH

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "analysis/baseline_plans.hh"
+#include "analysis/happens_before.hh"
+#include "analysis/lifetime_analysis.hh"
 #include "support/logging.hh"
 
 namespace capu
@@ -48,10 +50,29 @@ runPlanLint(const Plan &plan, const Graph &graph,
         opts.capacitySlack = opts.gpuCapacity / 20;
     }
 
+    auto bytes_of = [&](TensorId id) { return ctx.tensorBytes(id); };
+    auto swap_time = [&](std::uint64_t bytes) { return ctx.swapTime(bytes); };
+
     PlanChecker checker(graph, tracker, opts);
-    LintReport report = checker.check(
-        plan, [&](TensorId id) { return ctx.tensorBytes(id); },
-        [&](std::uint64_t bytes) { return ctx.swapTime(bytes); });
+    LintReport report = checker.check(plan, bytes_of, swap_time);
+
+    if (hook.happensBefore) {
+        HbAnalysis hb =
+            buildPlanEventGraph(plan, graph, tracker, bytes_of, swap_time);
+        LintReport races = checkHappensBefore(hb, &graph);
+        for (auto &d : races.diags)
+            report.diags.push_back(std::move(d));
+    }
+    if (hook.lifetime) {
+        LifetimeOptions lopts;
+        lopts.gpuCapacity = opts.gpuCapacity;
+        lopts.capacitySlack = opts.capacitySlack;
+        lopts.maxRecomputeChain = opts.maxRecomputeChain;
+        LifetimeResult lt = analyzeLifetimes(plan, graph, tracker, bytes_of,
+                                             swap_time, lopts);
+        for (auto &d : lt.report.diags)
+            report.diags.push_back(std::move(d));
+    }
 
     if (hook.printFindings && !report.diags.empty()) {
         std::cerr << who << " plan lint findings:\n";

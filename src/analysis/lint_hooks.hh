@@ -30,6 +30,10 @@ struct LintHookOptions
     bool panicOnError = true;
     /** Print the diagnostics table (stderr) when findings exist. */
     bool printFindings = true;
+    /** Also run the capuverify happens-before race scan (hb-*). */
+    bool happensBefore = true;
+    /** Also run the tensor-lifetime dataflow analysis (lifetime-*). */
+    bool lifetime = true;
 };
 
 /** Install the plan audit on a Capuchin policy's options. */

@@ -21,6 +21,12 @@
  * weight versions, iteration); swap must preserve it, recomputation must
  * regenerate it, and every consumption asserts it — a zero-numerics oracle
  * that swapped/recomputed data is the right data.
+ *
+ * The ordering constraints the executor honours between accesses,
+ * transfers, frees and allocs are spelled out as explicit happens-before
+ * edges in exec/ordering.hh; capuverify re-derives them from plans
+ * (capulint --hb) and from traced runs (capusim --verify) and checks the
+ * executor against them.
  */
 
 #ifndef CAPU_EXEC_EXECUTOR_HH

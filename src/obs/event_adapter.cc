@@ -1,0 +1,97 @@
+#include "obs/event_adapter.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace capu::obs
+{
+
+const char *
+timelineKindName(TimelineKind kind)
+{
+    switch (kind) {
+      case TimelineKind::Access:
+        return "access";
+      case TimelineKind::Recompute:
+        return "recompute";
+      case TimelineKind::SwapOut:
+        return "swap-out";
+      case TimelineKind::SwapIn:
+        return "swap-in";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::string suf = suffix;
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+} // namespace
+
+std::vector<TimelineRecord>
+extractTimeline(const std::vector<TraceEvent> &events)
+{
+    std::vector<TimelineRecord> out;
+    out.reserve(events.size() / 2);
+    for (const TraceEvent &ev : events) {
+        if (ev.tensor < 0)
+            continue;
+        TimelineRecord rec;
+        rec.tensor = ev.tensor;
+        rec.op = ev.op;
+        rec.start = ev.ts;
+        rec.end = ev.ts + ev.dur;
+        rec.bytes = ev.bytes;
+        switch (ev.kind) {
+          case EventKind::Access:
+            if (ev.track != kTrackHost || ev.phase != EventPhase::Instant)
+                continue;
+            rec.kind = TimelineKind::Access;
+            rec.accessIndex = static_cast<int>(ev.value);
+            rec.write = ev.name == "write";
+            break;
+          case EventKind::Recompute:
+            if (ev.track != kTrackCompute || ev.phase != EventPhase::Complete)
+                continue;
+            rec.kind = TimelineKind::Recompute;
+            break;
+          case EventKind::Transfer:
+            if (ev.phase != EventPhase::Complete)
+                continue;
+            if (ev.track == kTrackD2H)
+                rec.kind = TimelineKind::SwapOut;
+            else if (ev.track == kTrackH2D)
+                rec.kind = TimelineKind::SwapIn;
+            else
+                continue;
+            rec.failed = endsWith(ev.name, "!fail");
+            break;
+          default:
+            continue;
+        }
+        out.push_back(rec);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TimelineRecord &a, const TimelineRecord &b) {
+                         return a.start < b.start;
+                     });
+    return out;
+}
+
+std::vector<TimelineRecord>
+extractTimeline(const Tracer &tracer)
+{
+    std::vector<TraceEvent> raw;
+    raw.reserve(tracer.size());
+    tracer.forEach([&](const TraceEvent &ev) { raw.push_back(ev); });
+    return extractTimeline(raw);
+}
+
+} // namespace capu::obs

@@ -57,8 +57,8 @@ class EventQueue
   private:
     struct Entry
     {
-        Tick when;
-        std::uint64_t id;
+        Tick when = 0;
+        std::uint64_t id = 0;
         Callback cb;
         bool precedes(const Entry &o) const
         {

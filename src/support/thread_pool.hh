@@ -47,7 +47,10 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    unsigned threadCount() const { return workers_.size(); }
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
 
     /** Queue a task; the future rethrows anything the task throws. */
     template <typename F>

@@ -20,6 +20,8 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/happens_before.hh"
+#include "analysis/lifetime_analysis.hh"
 #include "analysis/plan_checker.hh"
 #include "core/policy_maker.hh"
 #include "core/trace_io.hh"
@@ -43,6 +45,8 @@ struct Options
     std::size_t maxChain = 256;
     bool noSwap = false;
     bool noRecompute = false;
+    bool hb = false;       ///< happens-before race scan
+    bool lifetime = false; ///< tensor-lifetime dataflow analysis
     bool csv = false;
     bool verbose = false;
 };
@@ -85,9 +89,18 @@ usage()
         "  --no-swap            recompute-only plan\n"
         "  --no-recompute       swap-only plan\n"
         "  --max-chain <n>      recompute chain budget (default 256)\n"
+        "  --hb                 also run the happens-before race scan\n"
+        "                       (capuverify, rules hb-*)\n"
+        "  --lifetime           also run the tensor-lifetime dataflow\n"
+        "                       analysis (capuverify, rules lifetime-*)\n"
         "  --csv                machine-readable findings\n"
         "  --quiet              suppress informational log output\n"
-        "  --verbose            print the plan summary too\n";
+        "  --verbose            print the plan summary too\n"
+        "\n"
+        "exit status:\n"
+        "  0  plan is clean (warning-level findings allowed)\n"
+        "  1  usage error or the trace failed to load/parse\n"
+        "  4  the plan has error-level findings\n";
 }
 
 bool
@@ -118,6 +131,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.noRecompute = true;
         else if (a == "--max-chain")
             opt.maxChain = static_cast<std::size_t>(std::atoll(next()));
+        else if (a == "--hb")
+            opt.hb = true;
+        else if (a == "--lifetime")
+            opt.lifetime = true;
         else if (a == "--csv")
             opt.csv = true;
         else if (a == "--quiet")
@@ -212,6 +229,32 @@ main(int argc, char **argv)
         PlanChecker checker(graph, tracker, copts);
         LintReport report = checker.check(plan, bytes_of, swap_time);
 
+        if (opt.hb) {
+            HbAnalysis hb = buildPlanEventGraph(plan, graph, tracker,
+                                                bytes_of, swap_time);
+            LintReport races = checkHappensBefore(hb, &graph);
+            if (opt.verbose)
+                std::cout << "happens-before: " << hb.events.size()
+                          << " events, " << hb.edges.size() << " edges\n";
+            for (auto &d : races.diags)
+                report.diags.push_back(std::move(d));
+        }
+        if (opt.lifetime) {
+            LifetimeOptions lopts;
+            lopts.gpuCapacity = copts.gpuCapacity;
+            lopts.capacitySlack = copts.capacitySlack;
+            lopts.maxRecomputeChain = copts.maxRecomputeChain;
+            LifetimeResult lt = analyzeLifetimes(plan, graph, tracker,
+                                                 bytes_of, swap_time, lopts);
+            if (opt.verbose)
+                std::cout << "lifetime: " << lt.lifetimes.size()
+                          << " planned tensors, static peak bound "
+                          << formatBytes(lt.peakBound) << " at tick "
+                          << lt.peakAt << "\n";
+            for (auto &d : lt.report.diags)
+                report.diags.push_back(std::move(d));
+        }
+
         if (opt.csv) {
             std::cout << "severity,rule,tensor,access,message\n";
             for (const auto &d : report.diags) {
@@ -227,6 +270,9 @@ main(int argc, char **argv)
                                   : graph.tensor(d.tensor).name)
                           << ',' << d.accessIndex << ',' << msg << '\n';
             }
+            // CSV rows alone leave a warning-only run looking identical to
+            // a clean one; always state the verdict on stderr.
+            std::cerr << "capulint: " << report.summary() << "\n";
         } else {
             printLintReport(std::cout, report, graph);
         }

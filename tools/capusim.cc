@@ -30,6 +30,7 @@
 #include "exec/session.hh"
 #include "faults/fault_spec.hh"
 #include "models/zoo.hh"
+#include "analysis/happens_before.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/obs.hh"
 #include "policy/checkpointing_policy.hh"
@@ -58,6 +59,7 @@ struct Options
     bool csv = false;
     bool list = false;
     bool obsSelfcheck = false;
+    bool verify = false;
     std::string dumpTrace;
     std::string traceJson;
     std::string metricsFile;
@@ -179,6 +181,12 @@ usage()
         "  --lint             verify the memory plan (capulint rules)\n"
         "                     before guided execution; error-level\n"
         "                     findings abort the run\n"
+        "  --verify           after the run, replay the capuscope trace\n"
+        "                     through the happens-before engine\n"
+        "                     (capuverify dynamic mode): race scan plus a\n"
+        "                     timestamp cross-check of every ordering edge\n"
+        "                     the executor claims; implies --obs-level\n"
+        "                     full; findings exit 4\n"
         "  --max-batch        binary-search the maximum feasible batch\n"
         "  --dump-trace <f>   run 1 iteration under Capuchin and write the\n"
         "                     measured tensor-access trace to <f>\n"
@@ -258,6 +266,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.metricsFile = next();
         else if (a == "--obs-selfcheck")
             opt.obsSelfcheck = true;
+        else if (a == "--verify")
+            opt.verify = true;
         else if (a == "--replay")
             opt.replay = true;
         else if (a == "--no-replay")
@@ -312,6 +322,11 @@ main(int argc, char **argv)
             if (opt.obsLevelSet)
                 warn("--metrics requires --obs-level metrics; upgrading");
             opt.obsLevel = obs::ObsLevel::Metrics;
+        }
+        if (opt.verify && opt.obsLevel != obs::ObsLevel::Full) {
+            if (opt.obsLevelSet)
+                warn("--verify requires --obs-level full; upgrading");
+            opt.obsLevel = obs::ObsLevel::Full;
         }
 
         ExecConfig cfg;
@@ -528,13 +543,42 @@ main(int argc, char **argv)
                       << " remeasures=" << fs.remeasures
                       << " feedback_shifts=" << fs.feedbackShifts << "\n";
         }
+        bool verify_failed = false;
+        if (opt.verify) {
+            // Dynamic-mode capuverify: lift the run's capuscope trace into
+            // the happens-before event model, race-scan it, and cross-check
+            // every ordering edge the executor claims against the
+            // timestamps it actually produced.
+            auto timeline = obs::extractTimeline(o.tracer);
+            HbAnalysis hb = buildTraceEventGraph(timeline);
+            LintReport races = checkHappensBefore(hb, &session->graph());
+            LintReport stamps = checkTimestamps(hb, &session->graph());
+            for (auto &d : stamps.diags)
+                races.diags.push_back(std::move(d));
+            std::cout << "verify: " << timeline.size()
+                      << " timeline records, " << hb.events.size()
+                      << " events, " << hb.edges.size() << " edges checked"
+                      << (o.tracer.dropped() > 0
+                              ? " (ring dropped " +
+                                    std::to_string(o.tracer.dropped()) +
+                                    " events; head of run not covered)"
+                              : "")
+                      << "\n";
+            if (races.diags.empty()) {
+                std::cout << "verify: trace is race-free; all ordering "
+                             "edges consistent with observed timestamps\n";
+            } else {
+                printLintReport(std::cout, races, session->graph());
+                verify_failed = races.errorCount() > 0;
+            }
+        }
         if (r.oom) {
             std::cout << "OOM after " << r.iterations.size()
                       << " iterations: " << r.oomMessage << "\n";
             std::cout << r.postMortem() << "\n";
             return 2;
         }
-        return 0;
+        return verify_failed ? 4 : 0;
     } catch (const FatalError &e) {
         std::cerr << "capusim: " << e.what() << "\n";
         return 1;
