@@ -48,6 +48,7 @@
 #include "bench/common.hh"
 #include "core/policy_maker.hh"
 #include "memory/bfc_allocator.hh"
+#include "prof/profile.hh"
 
 using namespace capu;
 using namespace capu::bench;
@@ -452,6 +453,62 @@ runReplay(const ModelCase &mc, const Options &opt)
     return res;
 }
 
+struct ProfileBenchResult
+{
+    std::string name;
+    std::int64_t batch = 0;
+    std::uint64_t events = 0;
+    double buildMs = 0; ///< median buildProfile wall over --repeat
+    double eventsPerSec = 0;
+    bool conserved = false; ///< bucket sum == wall, exactly
+};
+
+/**
+ * capuprof analytics cost: buildProfile (bucket sweep + tensor ledger +
+ * happens-before critical path) over a fully traced Capuchin session.
+ * Post-hoc tooling must stay cheap enough to run after every sweep job,
+ * so the throughput is recorded and the conservation invariant — the
+ * analytics' correctness gate — feeds the harness verdict.
+ */
+ProfileBenchResult
+runProfileBench(const ModelCase &mc, const Options &opt)
+{
+    ProfileBenchResult res;
+    res.name = modelName(mc.kind);
+    res.batch = mc.batch;
+
+    ExecConfig cfg;
+    cfg.obsLevel = obs::ObsLevel::Full;
+    Session s(buildModel(mc.kind, mc.batch), cfg, makeCapuchinPolicy());
+    auto r = s.run(opt.quick ? 4 : 8);
+    if (r.oom) {
+        std::cerr << res.name << "@" << mc.batch
+                  << ": PROFILE BENCH RUN OOMED: " << r.oomMessage << "\n";
+        return res;
+    }
+
+    const obs::Tracer &tracer = s.executor().obs().tracer;
+    res.events = tracer.size();
+    prof::Profile p;
+    std::vector<double> samples;
+    for (int rep = 0; rep < opt.repeat; ++rep) {
+        double t0 = nowMs();
+        p = prof::buildProfile(tracer);
+        samples.push_back(nowMs() - t0);
+    }
+    res.buildMs = median(samples);
+    res.eventsPerSec =
+        res.buildMs > 0 ? static_cast<double>(res.events) /
+                              (res.buildMs / 1000.0)
+                        : 0;
+    res.conserved = p.conservationError() == 0;
+    if (!res.conserved)
+        std::cerr << res.name << "@" << mc.batch
+                  << ": PROFILE BUCKETS DO NOT SUM TO WALL-CLOCK (off by "
+                  << p.conservationError() << " ns)\n";
+    return res;
+}
+
 const ModelKind kMaxBatchCases[] = {ModelKind::Vgg16, ModelKind::BertBase};
 const ModelKind kQuickMaxBatchCases[] = {ModelKind::Vgg16};
 
@@ -700,6 +757,24 @@ main(int argc, char **argv)
               << (opt.quick ? 40 : 100) << "-iteration Capuchin sessions)\n";
     rt.print(std::cout);
 
+    // ---- capuprof analytics ----------------------------------------------
+    std::vector<ProfileBenchResult> profiles;
+    Table pt({"model", "batch", "events", "build (ms)", "events/s",
+              "conserved"});
+    for (std::size_t i = 0; i < n_cases && i < 3; ++i) {
+        ProfileBenchResult res = runProfileBench(cases[i], opt);
+        ok = ok && res.conserved;
+        pt.addRow({res.name, cellInt(res.batch),
+                   cellInt(static_cast<std::int64_t>(res.events)),
+                   cellDouble(res.buildMs, 2),
+                   cellDouble(res.eventsPerSec, 0),
+                   res.conserved ? "yes" : "NO"});
+        profiles.push_back(std::move(res));
+    }
+    std::cout << "\ncapuprof buildProfile (bucket sweep + tensor ledger + "
+                 "critical path)\n";
+    pt.print(std::cout);
+
     // ---- max-batch search -----------------------------------------------
     const ModelKind *bcases =
         opt.quick ? kQuickMaxBatchCases : kMaxBatchCases;
@@ -787,6 +862,17 @@ main(int argc, char **argv)
            << jsonNum(b.newMs > 0 ? b.legacyMs / b.newMs : 0)
            << ", \"equal\": " << (b.equal ? "true" : "false")
            << "}" << (i + 1 < maxbatches.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n"
+       << "  \"profile\": [\n";
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const ProfileBenchResult &p = profiles[i];
+        js << "    {\"model\": \"" << p.name << "\", \"batch\": "
+           << p.batch << ", \"events\": " << p.events
+           << ", \"build_ms\": " << jsonNum(p.buildMs)
+           << ", \"events_per_sec\": " << jsonNum(p.eventsPerSec)
+           << ", \"conserved\": " << (p.conserved ? "true" : "false")
+           << "}" << (i + 1 < profiles.size() ? "," : "") << "\n";
     }
     js << "  ],\n";
     // Flat gate metrics: "time-like, lower is better" keys the baseline

@@ -254,10 +254,15 @@ Executor::finishIterationState()
         policy_->endIteration(*this, stats_);
     feedIterationMetrics();
     obs_.metrics.snapshotIteration(iteration_);
-    if (obs_.tracing())
+    if (obs_.tracing()) {
         obs_.tracer.complete(obs::kTrackHost, obs::EventKind::Marker,
                              stats_.begin, stats_.duration(),
                              "iteration:" + std::to_string(iteration_));
+        // After the marker, so the count covers every record this
+        // iteration could have pushed out of the ring.
+        obs_.metrics.setCounter("capu.obs.trace_dropped",
+                                obs_.tracer.dropped());
+    }
     ++iteration_;
 }
 
@@ -859,7 +864,8 @@ Executor::notePhase(TensorId id, const char *phase, Tick at)
     st.obsPhaseAt = at;
     obs_.tracer.spanBegin(obs::EventKind::Lifetime,
                           static_cast<std::int64_t>(id), at,
-                          graph_.tensor(id).name + ":" + phase);
+                          graph_.tensor(id).name + ":" + phase,
+                          allocBytes(id));
 }
 
 void

@@ -23,11 +23,20 @@ micros(Tick ns)
     return buf;
 }
 
+/**
+ * Integral values (counters, byte totals) print exactly so the export
+ * round-trips bit-for-bit through capuprof's importer; anything else gets
+ * enough digits to reparse to the same double.
+ */
 std::string
 jsonDouble(double v)
 {
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    if (v >= -9.2e18 && v <= 9.2e18 &&
+        v == static_cast<double>(static_cast<long long>(v)))
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
 
@@ -66,6 +75,10 @@ writeEvent(std::ostream &os, const TraceEvent &ev)
         os << ",\"args\":{";
         bool first = true;
         writeCommonArgs(os, ev, first);
+        if (ev.value != 0) { // access index: keeps the export lossless
+            os << (first ? "" : ",") << "\"value\":" << jsonDouble(ev.value);
+            first = false;
+        }
         os << "}";
         break;
       }
@@ -77,7 +90,10 @@ writeEvent(std::ostream &os, const TraceEvent &ev)
       case EventPhase::SpanEnd:
         os << ",\"ph\":\""
            << (ev.phase == EventPhase::SpanBegin ? 'b' : 'e')
-           << "\",\"id\":" << ev.tensor << ",\"args\":{}";
+           << "\",\"id\":" << ev.tensor << ",\"args\":{";
+        if (ev.bytes != 0)
+            os << "\"bytes\":" << ev.bytes;
+        os << "}";
         break;
     }
     os << "}";
@@ -160,6 +176,11 @@ writeChromeTraceFile(const std::string &path, const Tracer &tracer)
         return false;
     }
     writeChromeTrace(os, tracer);
+    if (tracer.dropped() > 0) {
+        warn("obs: trace ring dropped {} of {} events (oldest first); "
+             "profile/trace '{}' is truncated — raise --trace-cap",
+             tracer.dropped(), tracer.recorded(), path);
+    }
     return static_cast<bool>(os);
 }
 
@@ -182,6 +203,15 @@ writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics)
                 os << 0;
         }
         os << '\n';
+    }
+    // Histogram summary footer: full-run distributions don't fit the
+    // per-iteration row model, so they ride along as comment rows.
+    for (const auto &[name, hist] : metrics.histograms()) {
+        os << "#histogram," << name << ",count=" << hist.count()
+           << ",sum=" << hist.sum() << ",min=" << hist.min()
+           << ",max=" << hist.max() << ",mean=" << jsonDouble(hist.mean())
+           << ",p50=" << hist.p50() << ",p95=" << hist.p95()
+           << ",p99=" << hist.p99() << '\n';
     }
 }
 
@@ -209,7 +239,8 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &metrics)
            << "\": {\"count\": " << hist.count() << ", \"sum\": "
            << hist.sum() << ", \"min\": " << hist.min() << ", \"max\": "
            << hist.max() << ", \"mean\": " << jsonDouble(hist.mean())
-           << ", \"buckets\": [";
+           << ", \"p50\": " << hist.p50() << ", \"p95\": " << hist.p95()
+           << ", \"p99\": " << hist.p99() << ", \"buckets\": [";
         for (std::size_t i = 0; i < hist.usedBuckets(); ++i)
             os << (i ? "," : "") << hist.bucket(i);
         os << "]}";

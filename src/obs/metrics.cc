@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 namespace capu::obs
@@ -36,6 +37,38 @@ Histogram::mean() const
     return count_ == 0
                ? 0.0
                : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank target: the smallest rank r (1-based) with
+    // cumulative(r) >= q * count.
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (cum + buckets_[i] < rank) {
+            cum += buckets_[i];
+            continue;
+        }
+        if (i == 0)
+            return std::max<std::uint64_t>(min(), 0);
+        // Bucket i spans (2^(i-1), 2^i]; spread its occupants evenly.
+        double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+        double hi = std::ldexp(1.0, static_cast<int>(i));
+        double frac = static_cast<double>(rank - cum) /
+                      static_cast<double>(buckets_[i]);
+        auto v = static_cast<std::uint64_t>(lo + frac * (hi - lo));
+        return std::clamp(v, min(), max_);
+    }
+    return max_;
 }
 
 std::uint64_t

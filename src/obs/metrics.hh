@@ -41,6 +41,17 @@ class Histogram
     std::uint64_t max() const { return max_; }
     double mean() const;
 
+    /**
+     * Value at quantile q in [0, 1], linearly interpolated inside the
+     * log2 bucket that crosses the target rank and clamped to the
+     * observed [min, max]. Exact only up to bucket resolution (a factor
+     * of 2); good enough for p50/p95/p99 reporting. 0 when empty.
+     */
+    std::uint64_t percentile(double q) const;
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
     /** Count in bucket i (values in [2^(i-1)+1 .. 2^i]; bucket 0 holds 0). */
     std::uint64_t bucket(std::size_t i) const;
     std::size_t usedBuckets() const;

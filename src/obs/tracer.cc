@@ -49,6 +49,9 @@ Tracer::clear()
 {
     buf_.clear();
     buf_.shrink_to_fit();
+    chrono_.clear();
+    chrono_.shrink_to_fit();
+    chronoDirty_ = true;
     next_ = 0;
     recorded_ = 0;
 }
@@ -83,6 +86,7 @@ Tracer::record(TraceEvent ev)
     if (!enabled_)
         return;
     ++recorded_;
+    chronoDirty_ = true;
     if (buf_.size() < capacity_) {
         buf_.push_back(std::move(ev));
         return;
@@ -146,7 +150,8 @@ Tracer::counter(std::uint32_t track, Tick ts, std::string name, double value)
 }
 
 void
-Tracer::spanBegin(EventKind kind, std::int64_t id, Tick ts, std::string name)
+Tracer::spanBegin(EventKind kind, std::int64_t id, Tick ts, std::string name,
+                  std::uint64_t bytes)
 {
     if (!enabled_)
         return;
@@ -155,6 +160,7 @@ Tracer::spanBegin(EventKind kind, std::int64_t id, Tick ts, std::string name)
     ev.phase = EventPhase::SpanBegin;
     ev.kind = kind;
     ev.tensor = id;
+    ev.bytes = bytes;
     ev.name = std::move(name);
     record(std::move(ev));
 }
@@ -192,17 +198,20 @@ Tracer::eventsSince(std::uint64_t mark) const
     return out;
 }
 
-std::vector<TraceEvent>
+const std::vector<TraceEvent> &
 Tracer::chronological() const
 {
-    std::vector<TraceEvent> out;
-    out.reserve(buf_.size());
-    forEach([&](const TraceEvent &ev) { out.push_back(ev); });
-    std::stable_sort(out.begin(), out.end(),
+    if (!chronoDirty_)
+        return chrono_;
+    chrono_.clear();
+    chrono_.reserve(buf_.size());
+    forEach([&](const TraceEvent &ev) { chrono_.push_back(ev); });
+    std::stable_sort(chrono_.begin(), chrono_.end(),
                      [](const TraceEvent &a, const TraceEvent &b) {
                          return a.ts < b.ts;
                      });
-    return out;
+    chronoDirty_ = false;
+    return chrono_;
 }
 
 } // namespace capu::obs

@@ -89,9 +89,11 @@ class Tracer
     void counter(std::uint32_t track, Tick ts, std::string name,
                  double value);
 
-    /** Open an async span; paired with spanEnd by (kind, id). */
+    /** Open an async span; paired with spanEnd by (kind, id). `bytes`
+     *  sizes the spanned object (tensor lifetime spans: alloc bytes) so
+     *  post-hoc analyzers can weigh residency without the graph. */
     void spanBegin(EventKind kind, std::int64_t id, Tick ts,
-                   std::string name);
+                   std::string name, std::uint64_t bytes = 0);
     void spanEnd(EventKind kind, std::int64_t id, Tick ts, std::string name);
 
     /** Visit buffered events oldest-to-newest (emission order). */
@@ -108,8 +110,13 @@ class Tracer
             fn(buf_[(next_ + i) % buf_.size()]);
     }
 
-    /** Buffered events stable-sorted by timestamp. */
-    std::vector<TraceEvent> chronological() const;
+    /**
+     * Buffered events stable-sorted by timestamp. The sort is cached and
+     * invalidated by record()/clear()/setCapacity(), so exporters and
+     * analyzers that each walk the full ring share one sort. The reference
+     * is invalidated by the next mutation.
+     */
+    const std::vector<TraceEvent> &chronological() const;
 
     /**
      * Copies of the events recorded at or after sequence number `mark`
@@ -121,6 +128,8 @@ class Tracer
 
   private:
     std::vector<TraceEvent> buf_;
+    mutable std::vector<TraceEvent> chrono_; ///< chronological() cache
+    mutable bool chronoDirty_ = true;
     std::vector<std::pair<std::uint32_t, std::string>> trackNames_;
     std::vector<std::pair<std::string, std::string>> meta_;
     std::size_t capacity_;

@@ -1,0 +1,287 @@
+#include "prof/diff.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "obs/chrome_trace.hh"
+#include "stats/table.hh"
+#include "support/units.hh"
+
+namespace capu::prof
+{
+
+namespace
+{
+
+std::int64_t
+sub(std::uint64_t b, std::uint64_t a)
+{
+    return static_cast<std::int64_t>(b) - static_cast<std::int64_t>(a);
+}
+
+SignedBuckets
+diffBuckets(const Buckets &a, const Buckets &b)
+{
+    SignedBuckets d;
+    d.compute = sub(b.compute, a.compute);
+    d.recompute = sub(b.recompute, a.recompute);
+    d.swapStall = sub(b.swapStall, a.swapStall);
+    d.oomStall = sub(b.oomStall, a.oomStall);
+    d.idle = sub(b.idle, a.idle);
+    return d;
+}
+
+std::string
+deltaMs(std::int64_t ns)
+{
+    double v = static_cast<double>(ns) / 1e6;
+    return (ns > 0 ? "+" : "") + cellDouble(v, 3);
+}
+
+} // namespace
+
+ProfileDiff
+diffProfiles(const Profile &a, const Profile &b)
+{
+    ProfileDiff d;
+    d.wallDelta = sub(b.wallTicks, a.wallTicks);
+    d.buckets = diffBuckets(a.buckets, b.buckets);
+    d.iterationsA = a.iterations.size();
+    d.iterationsB = b.iterations.size();
+
+    // --- digest alignment ---
+    std::size_t common = std::min(d.iterationsA, d.iterationsB);
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.iterations[i].digest != b.iterations[i].digest) {
+            d.firstDivergingIteration = static_cast<std::int64_t>(i);
+            d.divergingIterationBuckets = diffBuckets(
+                a.iterations[i].buckets, b.iterations[i].buckets);
+            break;
+        }
+    }
+    if (d.firstDivergingIteration < 0 && d.iterationsA != d.iterationsB)
+        d.firstDivergingIteration = static_cast<std::int64_t>(common);
+
+    // --- per-tensor deltas ---
+    std::map<std::int64_t, const TensorAccount *> ta;
+    std::map<std::int64_t, const TensorAccount *> tb;
+    for (const auto &acc : a.tensors)
+        ta[acc.tensor] = &acc;
+    for (const auto &acc : b.tensors)
+        tb[acc.tensor] = &acc;
+    static const TensorAccount kEmptyTensor;
+    std::map<std::int64_t, std::pair<const TensorAccount *,
+                                     const TensorAccount *>> joined;
+    for (const auto &[id, acc] : ta)
+        joined[id] = {acc, &kEmptyTensor};
+    for (const auto &[id, acc] : tb) {
+        auto it = joined.find(id);
+        if (it == joined.end())
+            joined[id] = {&kEmptyTensor, acc};
+        else
+            it->second.second = acc;
+    }
+    for (const auto &[id, pair] : joined) {
+        const TensorAccount &ia = *pair.first;
+        const TensorAccount &ib = *pair.second;
+        TensorDelta td;
+        td.tensor = id;
+        td.name = !ib.name.empty() ? ib.name : ia.name;
+        td.overheadDelta = sub(ib.overheadTicks, ia.overheadTicks);
+        td.stallDelta = sub(ib.stallTicks, ia.stallTicks);
+        td.recomputeDelta = sub(ib.recomputeTicks, ia.recomputeTicks);
+        td.swapCountDelta =
+            (ib.swapOutCount + ib.swapInCount) -
+            (ia.swapOutCount + ia.swapInCount);
+        td.swapBytesDelta = sub(ib.swapOutBytes + ib.swapInBytes,
+                                ia.swapOutBytes + ia.swapInBytes);
+        td.lateDelta = ib.prefetch.late - ia.prefetch.late;
+        td.missedDelta = ib.prefetch.missed - ia.prefetch.missed;
+        bool nonzero = td.overheadDelta || td.stallDelta ||
+                       td.recomputeDelta || td.swapCountDelta ||
+                       td.swapBytesDelta || td.lateDelta || td.missedDelta;
+        if (!nonzero)
+            continue;
+        if (d.firstDivergingTensor < 0) {
+            d.firstDivergingTensor = id;
+            d.firstDivergingTensorName = td.name;
+        }
+        d.tensors.push_back(std::move(td));
+    }
+    std::sort(d.tensors.begin(), d.tensors.end(),
+              [](const TensorDelta &x, const TensorDelta &y) {
+                  auto ax = std::abs(x.overheadDelta);
+                  auto ay = std::abs(y.overheadDelta);
+                  return ax != ay ? ax > ay : x.tensor < y.tensor;
+              });
+
+    // --- per-op deltas (ascending op id == schedule order) ---
+    std::map<std::int64_t, const OpAccount *> oa;
+    std::map<std::int64_t, const OpAccount *> ob;
+    for (const auto &acc : a.ops)
+        oa[acc.op] = &acc;
+    for (const auto &acc : b.ops)
+        ob[acc.op] = &acc;
+    static const OpAccount kEmptyOp;
+    std::map<std::int64_t, std::pair<const OpAccount *, const OpAccount *>>
+        joinedOps;
+    for (const auto &[id, acc] : oa)
+        joinedOps[id] = {acc, &kEmptyOp};
+    for (const auto &[id, acc] : ob) {
+        auto it = joinedOps.find(id);
+        if (it == joinedOps.end())
+            joinedOps[id] = {&kEmptyOp, acc};
+        else
+            it->second.second = acc;
+    }
+    for (const auto &[id, pair] : joinedOps) {
+        const OpAccount &ia = *pair.first;
+        const OpAccount &ib = *pair.second;
+        OpDelta od;
+        od.op = id;
+        od.name = !ib.name.empty() ? ib.name : ia.name;
+        od.countDelta = ib.count - ia.count;
+        od.computeDelta = sub(ib.computeTicks, ia.computeTicks);
+        if (od.countDelta == 0 && od.computeDelta == 0)
+            continue;
+        if (d.firstDivergingOp < 0) {
+            d.firstDivergingOp = id;
+            d.firstDivergingOpName = od.name;
+        }
+        d.ops.push_back(std::move(od));
+    }
+
+    d.identical = d.wallDelta == 0 && d.buckets.zero() &&
+                  d.firstDivergingIteration < 0 && d.tensors.empty() &&
+                  d.ops.empty();
+    return d;
+}
+
+void
+renderDiff(std::ostream &os, const Profile &a, const Profile &b,
+           const ProfileDiff &diff, ReportFormat format)
+{
+    if (format == ReportFormat::Json) {
+        os << "{\n  \"identical\": " << (diff.identical ? "true" : "false")
+           << ",\n  \"wall_delta_ns\": " << diff.wallDelta
+           << ",\n  \"buckets\": {\"compute\": " << diff.buckets.compute
+           << ", \"recompute\": " << diff.buckets.recompute
+           << ", \"swap_stall\": " << diff.buckets.swapStall
+           << ", \"oom_stall\": " << diff.buckets.oomStall
+           << ", \"idle\": " << diff.buckets.idle
+           << "},\n  \"iterations\": {\"a\": " << diff.iterationsA
+           << ", \"b\": " << diff.iterationsB
+           << ", \"first_diverging\": " << diff.firstDivergingIteration
+           << "},\n  \"first_diverging_op\": " << diff.firstDivergingOp
+           << ",\n  \"first_diverging_tensor\": "
+           << diff.firstDivergingTensor << ",\n  \"tensors\": [";
+        bool first = true;
+        for (const auto &td : diff.tensors) {
+            os << (first ? "\n" : ",\n") << "    {\"tensor\": "
+               << td.tensor << ", \"name\": \"" << obs::jsonEscape(td.name)
+               << "\", \"overhead_delta_ns\": " << td.overheadDelta
+               << ", \"stall_delta_ns\": " << td.stallDelta
+               << ", \"recompute_delta_ns\": " << td.recomputeDelta
+               << ", \"swap_count_delta\": " << td.swapCountDelta
+               << ", \"swap_bytes_delta\": " << td.swapBytesDelta
+               << ", \"late_delta\": " << td.lateDelta
+               << ", \"missed_delta\": " << td.missedDelta << "}";
+            first = false;
+        }
+        os << "\n  ],\n  \"ops\": [";
+        first = true;
+        for (const auto &od : diff.ops) {
+            os << (first ? "\n" : ",\n") << "    {\"op\": " << od.op
+               << ", \"name\": \"" << obs::jsonEscape(od.name)
+               << "\", \"count_delta\": " << od.countDelta
+               << ", \"compute_delta_ns\": " << od.computeDelta << "}";
+            first = false;
+        }
+        os << "\n  ]\n}\n";
+        return;
+    }
+
+    bool md = format == ReportFormat::Markdown;
+    os << (md ? "# capuprof diff\n\n" : "capuprof diff\n");
+    os << (md ? "- " : "  ") << "verdict: "
+       << (diff.identical ? "IDENTICAL" : "DIFFERS") << "\n";
+    os << (md ? "- " : "  ") << "wall: " << cellDouble(ticksToMs(a.wallTicks), 3)
+       << " ms -> " << cellDouble(ticksToMs(b.wallTicks), 3) << " ms ("
+       << deltaMs(diff.wallDelta) << " ms)\n";
+    os << (md ? "- " : "  ") << "iterations: " << diff.iterationsA
+       << " vs " << diff.iterationsB;
+    if (diff.firstDivergingIteration >= 0)
+        os << ", first diverging iteration: "
+           << diff.firstDivergingIteration;
+    os << "\n";
+    if (diff.firstDivergingOp >= 0) {
+        os << (md ? "- " : "  ") << "first diverging op: "
+           << diff.firstDivergingOpName << " (op "
+           << diff.firstDivergingOp << ")\n";
+    }
+    if (diff.firstDivergingTensor >= 0) {
+        os << (md ? "- " : "  ") << "first diverging tensor: "
+           << diff.firstDivergingTensorName << " (tensor "
+           << diff.firstDivergingTensor << ")\n";
+    }
+    if (diff.identical)
+        return;
+
+    os << (md ? "\n## bucket deltas\n\n" : "\nbucket deltas\n");
+    Table buckets({"bucket", "a(ms)", "b(ms)", "delta(ms)"});
+    struct Row
+    {
+        const char *label;
+        Tick Buckets::*field;
+        std::int64_t SignedBuckets::*delta;
+    };
+    static const Row rows[] = {
+        {"compute", &Buckets::compute, &SignedBuckets::compute},
+        {"recompute", &Buckets::recompute, &SignedBuckets::recompute},
+        {"swap-in stall", &Buckets::swapStall, &SignedBuckets::swapStall},
+        {"oom protocol", &Buckets::oomStall, &SignedBuckets::oomStall},
+        {"idle", &Buckets::idle, &SignedBuckets::idle},
+    };
+    for (const auto &row : rows) {
+        buckets.addRow({row.label,
+                        cellDouble(ticksToMs(a.buckets.*row.field), 3),
+                        cellDouble(ticksToMs(b.buckets.*row.field), 3),
+                        deltaMs(diff.buckets.*row.delta)});
+    }
+    buckets.print(os);
+
+    if (!diff.tensors.empty()) {
+        os << (md ? "\n## tensor deltas\n\n" : "\ntensor deltas\n");
+        Table tt({"tensor", "overhead(ms)", "stall(ms)", "recompute(ms)",
+                  "swaps", "late", "missed"});
+        std::size_t shown = 0;
+        for (const auto &td : diff.tensors) {
+            if (++shown > 15)
+                break;
+            tt.addRow({td.name, deltaMs(td.overheadDelta),
+                       deltaMs(td.stallDelta), deltaMs(td.recomputeDelta),
+                       cellInt(td.swapCountDelta), cellInt(td.lateDelta),
+                       cellInt(td.missedDelta)});
+        }
+        tt.print(os);
+        if (diff.tensors.size() > 15)
+            os << "(" << diff.tensors.size() - 15 << " more)\n";
+    }
+    if (!diff.ops.empty()) {
+        os << (md ? "\n## op deltas\n\n" : "\nop deltas\n");
+        Table ot({"op", "count", "compute(ms)"});
+        std::size_t shown = 0;
+        for (const auto &od : diff.ops) {
+            if (++shown > 15)
+                break;
+            ot.addRow({od.name, cellInt(od.countDelta),
+                       deltaMs(od.computeDelta)});
+        }
+        ot.print(os);
+        if (diff.ops.size() > 15)
+            os << "(" << diff.ops.size() - 15 << " more)\n";
+    }
+}
+
+} // namespace capu::prof

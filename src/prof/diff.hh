@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Differential profiling: align two runs, localize the regression.
+ *
+ * Alignment reuses capureplay's idea of an iteration digest: each
+ * profile's iterations carry an FNV-1a hash of their (iteration-relative)
+ * event stream, so two runs of the same workload align index-by-index
+ * and the first index whose digests differ is the first iteration where
+ * the runs actually did something different — long before the aggregate
+ * numbers drift. On top of that, per-bucket and per-tensor/per-op deltas
+ * say *where* the extra time went, and the lowest-id diverging op/tensor
+ * localizes the first schedule point that changed.
+ *
+ * All deltas are B minus A (positive = B spent more).
+ */
+
+#ifndef CAPU_PROF_DIFF_HH
+#define CAPU_PROF_DIFF_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "prof/report.hh"
+
+namespace capu::prof
+{
+
+struct SignedBuckets
+{
+    std::int64_t compute = 0;
+    std::int64_t recompute = 0;
+    std::int64_t swapStall = 0;
+    std::int64_t oomStall = 0;
+    std::int64_t idle = 0;
+
+    bool zero() const
+    {
+        return compute == 0 && recompute == 0 && swapStall == 0 &&
+               oomStall == 0 && idle == 0;
+    }
+};
+
+struct TensorDelta
+{
+    std::int64_t tensor = -1;
+    std::string name;
+    std::int64_t overheadDelta = 0; ///< stall + recompute, ns
+    std::int64_t stallDelta = 0;
+    std::int64_t recomputeDelta = 0;
+    std::int64_t swapCountDelta = 0; ///< out + in transfer count
+    std::int64_t swapBytesDelta = 0;
+    std::int64_t lateDelta = 0;   ///< prefetch-late count
+    std::int64_t missedDelta = 0; ///< on-demand swap-in count
+};
+
+struct OpDelta
+{
+    std::int64_t op = -1;
+    std::string name;
+    std::int64_t countDelta = 0;
+    std::int64_t computeDelta = 0; ///< ns
+};
+
+struct ProfileDiff
+{
+    /** True iff every delta below is zero and all digests align. */
+    bool identical = false;
+
+    std::int64_t wallDelta = 0;
+    SignedBuckets buckets;
+
+    std::size_t iterationsA = 0;
+    std::size_t iterationsB = 0;
+    /**
+     * Index of the first iteration whose digests differ (or the common
+     * length when one run simply has more iterations); -1 when fully
+     * aligned.
+     */
+    std::int64_t firstDivergingIteration = -1;
+    /** Bucket deltas at that iteration (zero when aligned). */
+    SignedBuckets divergingIterationBuckets;
+
+    /** Nonzero rows only, by |overheadDelta| descending. */
+    std::vector<TensorDelta> tensors;
+    /** Nonzero rows only, ascending op id (schedule order). */
+    std::vector<OpDelta> ops;
+
+    /** Lowest-id op/tensor with any delta: the first schedule point
+     *  that changed. -1 when none. */
+    std::int64_t firstDivergingOp = -1;
+    std::string firstDivergingOpName;
+    std::int64_t firstDivergingTensor = -1;
+    std::string firstDivergingTensorName;
+};
+
+ProfileDiff diffProfiles(const Profile &a, const Profile &b);
+
+/** Render the diff (text/markdown for humans, json for machines). */
+void renderDiff(std::ostream &os, const Profile &a, const Profile &b,
+                const ProfileDiff &diff, ReportFormat format);
+
+} // namespace capu::prof
+
+#endif // CAPU_PROF_DIFF_HH

@@ -1,15 +1,15 @@
 /**
  * @file
  * Tests for the capuscope observability layer: tracer ring semantics,
- * metrics snapshots, the Chrome-trace exporter's schema (validated with a
- * minimal in-test JSON parser), cross-layer metric invariants, and the
+ * metrics snapshots and percentiles, the Chrome-trace exporter's schema
+ * (validated with support/json, the parser this suite's in-test parser
+ * was promoted into), cross-layer metric invariants, and the
  * zero-observer-effect guarantee across the model zoo.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -23,215 +23,14 @@
 #include "obs/obs.hh"
 #include "policy/noop_policy.hh"
 #include "policy/vdnn_policy.hh"
+#include "support/json.hh"
 
 using namespace capu;
-
-// --- minimal JSON parser (test-only; enough for our exporters) ---
 
 namespace
 {
 
-struct Json
-{
-    enum Kind
-    {
-        Null,
-        Bool,
-        Num,
-        Str,
-        Arr,
-        Obj
-    } kind = Null;
-    bool b = false;
-    double num = 0;
-    std::string str;
-    std::vector<Json> arr;
-    std::map<std::string, Json> obj;
-
-    bool has(const std::string &k) const { return obj.count(k) != 0; }
-    const Json &operator[](const std::string &k) const
-    {
-        static const Json null;
-        auto it = obj.find(k);
-        return it == obj.end() ? null : it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    bool
-    parse(Json &out)
-    {
-        skipWs();
-        if (!value(out))
-            return false;
-        skipWs();
-        return pos_ == s_.size(); // no trailing garbage
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *lit)
-    {
-        std::size_t n = std::string(lit).size();
-        if (s_.compare(pos_, n, lit) != 0)
-            return false;
-        pos_ += n;
-        return true;
-    }
-
-    bool
-    string(std::string &out)
-    {
-        if (pos_ >= s_.size() || s_[pos_] != '"')
-            return false;
-        ++pos_;
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    return false;
-                char e = s_[pos_++];
-                switch (e) {
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'u':
-                    if (pos_ + 4 > s_.size())
-                        return false;
-                    pos_ += 4; // we only need to skip it
-                    out += '?';
-                    break;
-                  default: out += e;
-                }
-            } else {
-                out += c;
-            }
-        }
-        if (pos_ >= s_.size())
-            return false;
-        ++pos_; // closing quote
-        return true;
-    }
-
-    bool
-    value(Json &out)
-    {
-        skipWs();
-        if (pos_ >= s_.size())
-            return false;
-        char c = s_[pos_];
-        if (c == '{') {
-            out.kind = Json::Obj;
-            ++pos_;
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            for (;;) {
-                skipWs();
-                std::string key;
-                if (!string(key))
-                    return false;
-                skipWs();
-                if (pos_ >= s_.size() || s_[pos_++] != ':')
-                    return false;
-                Json v;
-                if (!value(v))
-                    return false;
-                out.obj.emplace(std::move(key), std::move(v));
-                skipWs();
-                if (pos_ >= s_.size())
-                    return false;
-                if (s_[pos_] == ',') {
-                    ++pos_;
-                    continue;
-                }
-                if (s_[pos_] == '}') {
-                    ++pos_;
-                    return true;
-                }
-                return false;
-            }
-        }
-        if (c == '[') {
-            out.kind = Json::Arr;
-            ++pos_;
-            skipWs();
-            if (pos_ < s_.size() && s_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            for (;;) {
-                Json v;
-                if (!value(v))
-                    return false;
-                out.arr.push_back(std::move(v));
-                skipWs();
-                if (pos_ >= s_.size())
-                    return false;
-                if (s_[pos_] == ',') {
-                    ++pos_;
-                    continue;
-                }
-                if (s_[pos_] == ']') {
-                    ++pos_;
-                    return true;
-                }
-                return false;
-            }
-        }
-        if (c == '"') {
-            out.kind = Json::Str;
-            return string(out.str);
-        }
-        if (c == 't') {
-            out.kind = Json::Bool;
-            out.b = true;
-            return literal("true");
-        }
-        if (c == 'f') {
-            out.kind = Json::Bool;
-            out.b = false;
-            return literal("false");
-        }
-        if (c == 'n') {
-            out.kind = Json::Null;
-            return literal("null");
-        }
-        // number
-        std::size_t start = pos_;
-        if (c == '-')
-            ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start)
-            return false;
-        out.kind = Json::Num;
-        out.num = std::stod(s_.substr(start, pos_ - start));
-        return true;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
+using Json = json::Value;
 
 /** VGG16 under Capuchin at a batch that forces swapping, fully traced. */
 Session &
@@ -280,6 +79,44 @@ TEST(Tracer, ChronologicalSortsByTimestamp)
     EXPECT_EQ(evs[0].name, "a");
     EXPECT_EQ(evs[1].name, "b");
     EXPECT_EQ(evs[2].name, "c");
+}
+
+TEST(Tracer, ChronologicalCacheInvalidatedByRecordAndClear)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.instant(obs::kTrackHost, obs::EventKind::Marker, 20, "b");
+    tracer.instant(obs::kTrackHost, obs::EventKind::Marker, 10, "a");
+    const auto &first = tracer.chronological();
+    ASSERT_EQ(first.size(), 2u);
+    // Cached: repeated calls hand back the same vector, no re-sort.
+    EXPECT_EQ(&tracer.chronological(), &first);
+    // A new record invalidates the cache...
+    tracer.instant(obs::kTrackHost, obs::EventKind::Marker, 15, "c");
+    const auto &second = tracer.chronological();
+    ASSERT_EQ(second.size(), 3u);
+    EXPECT_EQ(second[0].name, "a");
+    EXPECT_EQ(second[1].name, "c");
+    EXPECT_EQ(second[2].name, "b");
+    // ...and so does clear().
+    tracer.clear();
+    EXPECT_TRUE(tracer.chronological().empty());
+}
+
+TEST(Tracer, DroppedSurfacesAsMetricCounter)
+{
+    // A deliberately tiny ring must overflow on a real workload and
+    // surface the drop count as capu.obs.trace_dropped.
+    ExecConfig cfg;
+    cfg.obsLevel = obs::ObsLevel::Full;
+    cfg.obsRingCapacity = 512;
+    Session s(buildVgg16(230), cfg, makeCapuchinPolicy());
+    auto r = s.run(2);
+    ASSERT_FALSE(r.oom) << r.oomMessage;
+    const obs::Obs &o = s.executor().obs();
+    EXPECT_GT(o.tracer.dropped(), 0u);
+    EXPECT_EQ(o.metrics.counter("capu.obs.trace_dropped"),
+              o.tracer.dropped());
 }
 
 TEST(Tracer, DisabledDropsEverything)
@@ -343,7 +180,7 @@ TEST(ChromeTrace, Vgg16TraceIsValidJson)
     std::string text = os.str();
 
     Json root;
-    ASSERT_TRUE(JsonParser(text).parse(root)) << "trace is not valid JSON";
+    ASSERT_TRUE(json::parse(text, root)) << "trace is not valid JSON";
     ASSERT_EQ(root.kind, Json::Obj);
     ASSERT_TRUE(root.has("traceEvents"));
     const Json &evs = root["traceEvents"];
@@ -388,7 +225,7 @@ TEST(ChromeTrace, LifetimeSpansNestCorrectly)
     std::ostringstream os;
     obs::writeChromeTrace(os, s.executor().obs().tracer);
     Json root;
-    ASSERT_TRUE(JsonParser(os.str()).parse(root));
+    ASSERT_TRUE(json::parse(os.str(), root));
 
     // Async spans pair by (cat, id): depth never goes negative and every
     // span opened is eventually closed (the executor closes residency
@@ -422,7 +259,7 @@ TEST(ChromeTrace, MetricsExportsParse)
     std::ostringstream js;
     obs::writeMetricsJson(js, m);
     Json root;
-    ASSERT_TRUE(JsonParser(js.str()).parse(root))
+    ASSERT_TRUE(json::parse(js.str(), root))
         << "metrics JSON is not valid JSON";
     ASSERT_TRUE(root.has("counters"));
     ASSERT_TRUE(root.has("gauges"));
@@ -432,9 +269,52 @@ TEST(ChromeTrace, MetricsExportsParse)
     std::ostringstream cs;
     obs::writeMetricsCsv(cs, m);
     std::string csv = cs.str();
-    // Header + one row per iteration.
-    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+    // Header + one row per iteration + one #histogram footer row each.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+              4 + static_cast<std::int64_t>(m.histograms().size()));
     EXPECT_EQ(csv.rfind("iteration", 0), 0u);
+}
+
+TEST(Metrics, HistogramPercentiles)
+{
+    // Known distribution: one observation each of 1..1000. Exact ranks are
+    // 500/950/990; the log2-bucketed estimate must land inside the
+    // surrounding power-of-two bucket.
+    obs::MetricsRegistry m;
+    m.setEnabled(true);
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        m.observe("h", v);
+    const obs::Histogram *h = m.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_GE(h->p50(), 256u);
+    EXPECT_LE(h->p50(), 512u);
+    EXPECT_GE(h->p95(), 512u);
+    EXPECT_LE(h->p95(), 1000u);
+    EXPECT_GE(h->p99(), h->p95());
+    EXPECT_LE(h->p99(), 1000u);
+    EXPECT_GE(h->p95(), h->p50());
+    // Degenerate distributions pin every percentile to the single value.
+    m.observe("one", 42);
+    const obs::Histogram *one = m.histogram("one");
+    EXPECT_EQ(one->p50(), 42u);
+    EXPECT_EQ(one->p99(), 42u);
+    // Percentiles ride along in the JSON export.
+    std::ostringstream js;
+    obs::writeMetricsJson(js, m);
+    Json root;
+    ASSERT_TRUE(json::parse(js.str(), root));
+    const Json &hist = root["histograms"]["h"];
+    ASSERT_FALSE(hist.isNull());
+    EXPECT_DOUBLE_EQ(hist["p50"].num, static_cast<double>(h->p50()));
+    EXPECT_DOUBLE_EQ(hist["p95"].num, static_cast<double>(h->p95()));
+    EXPECT_DOUBLE_EQ(hist["p99"].num, static_cast<double>(h->p99()));
+}
+
+TEST(Metrics, EmptyHistogramPercentileIsZero)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.p99(), 0u);
 }
 
 // --- Cross-layer metric invariants ---

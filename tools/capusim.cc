@@ -36,6 +36,8 @@
 #include "policy/checkpointing_policy.hh"
 #include "policy/noop_policy.hh"
 #include "policy/vdnn_policy.hh"
+#include "prof/profile.hh"
+#include "prof/report.hh"
 #include "stats/table.hh"
 #include "support/logging.hh"
 
@@ -60,9 +62,12 @@ struct Options
     bool list = false;
     bool obsSelfcheck = false;
     bool verify = false;
+    bool profile = false;
     std::string dumpTrace;
     std::string traceJson;
     std::string metricsFile;
+    std::string profileJson;
+    std::size_t traceCap = 0; ///< 0 = library default
     std::string faults;
     std::uint64_t seed = 0;
     obs::ObsLevel obsLevel = obs::ObsLevel::Off;
@@ -198,6 +203,15 @@ usage()
         "                     --obs-level full\n"
         "  --metrics <f>      write per-iteration metrics (.json => JSON,\n"
         "                     else CSV); implies --obs-level metrics\n"
+        "  --profile          print a capuprof summary after the run\n"
+        "                     (bucket attribution, top costly tensors,\n"
+        "                     critical path); implies --obs-level full\n"
+        "  --profile-json <f> write the full capuprof profile as JSON\n"
+        "                     (input for `capuprof diff`); implies\n"
+        "                     --obs-level full\n"
+        "  --trace-cap <n>    event ring capacity when tracing; oldest\n"
+        "                     events drop on wrap (default "
+        "1048576)\n"
         "  --obs-selfcheck    run the workload at every obs level and\n"
         "                     report the observability overhead\n"
         "  --replay           steady-state iteration replay: once the\n"
@@ -216,7 +230,15 @@ usage()
         "                     recorded in metrics and trace metadata\n"
         "  --quiet            suppress informational log output\n"
         "  --verbose          force informational log output on\n"
-        "  --list             print models and policies\n";
+        "  --list             print models and policies\n"
+        "\n"
+        "exit status:\n"
+        "  0  run completed (lint/verify/profile clean when requested)\n"
+        "  1  usage error or fatal setup failure\n"
+        "  2  the workload ran out of GPU memory\n"
+        "  3  simulator self-check failed (--lint audit abort, panic, or\n"
+        "     an observer effect under --obs-selfcheck)\n"
+        "  4  --verify found races or ordering violations\n";
 }
 
 bool
@@ -264,6 +286,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.traceJson = next();
         else if (a == "--metrics")
             opt.metricsFile = next();
+        else if (a == "--profile")
+            opt.profile = true;
+        else if (a == "--profile-json")
+            opt.profileJson = next();
+        else if (a == "--trace-cap")
+            opt.traceCap = static_cast<std::size_t>(std::atoll(next()));
         else if (a == "--obs-selfcheck")
             opt.obsSelfcheck = true;
         else if (a == "--verify")
@@ -328,12 +356,20 @@ main(int argc, char **argv)
                 warn("--verify requires --obs-level full; upgrading");
             opt.obsLevel = obs::ObsLevel::Full;
         }
+        if ((opt.profile || !opt.profileJson.empty()) &&
+            opt.obsLevel != obs::ObsLevel::Full) {
+            if (opt.obsLevelSet)
+                warn("--profile requires --obs-level full; upgrading");
+            opt.obsLevel = obs::ObsLevel::Full;
+        }
 
         ExecConfig cfg;
         cfg.device = deviceByName(opt.device);
         cfg.eagerMode = opt.eager;
         cfg.obsLevel = opt.obsLevel;
         cfg.seed = opt.seed;
+        if (opt.traceCap > 0)
+            cfg.obsRingCapacity = opt.traceCap;
         std::string spec_text = opt.faults;
         if (!spec_text.empty() && spec_text[0] == '@') {
             std::ifstream f(spec_text.substr(1));
@@ -482,6 +518,15 @@ main(int argc, char **argv)
         if (!opt.metricsFile.empty() &&
             obs::writeMetricsFile(opt.metricsFile, o.metrics))
             inform("wrote per-iteration metrics to {}", opt.metricsFile);
+        if (opt.profile || !opt.profileJson.empty()) {
+            prof::Profile profile = prof::buildProfile(o.tracer);
+            if (!opt.profileJson.empty() &&
+                prof::writeProfileJsonFile(opt.profileJson, profile))
+                inform("wrote capuprof profile to {}", opt.profileJson);
+            if (opt.profile)
+                prof::renderProfile(std::cout, profile,
+                                    prof::ReportFormat::Text);
+        }
 
         if (opt.csv) {
             std::cout << "iter,images_per_s,duration_ms,peak_bytes,"
