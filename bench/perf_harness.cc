@@ -48,7 +48,9 @@
 #include "bench/common.hh"
 #include "core/policy_maker.hh"
 #include "memory/bfc_allocator.hh"
+#include "models/workload.hh"
 #include "prof/profile.hh"
+#include "support/units.hh"
 
 using namespace capu;
 using namespace capu::bench;
@@ -601,6 +603,129 @@ runMaxBatch(ModelKind kind)
     return res;
 }
 
+/** Dynamic-workload cases (capudrift): the full dynamic zoo, one per
+ *  family; quick keeps the cheapest (varlen lstm). */
+struct DriftCase
+{
+    WorkloadKind kind;
+    const char *model; ///< "" where the family ignores it (branchy)
+    std::int64_t batch;
+};
+
+const DriftCase kDriftCases[] = {
+    {WorkloadKind::Varlen, "bert", 48},
+    {WorkloadKind::BatchRamp, "resnet50", 256},
+    {WorkloadKind::Branchy, "", 256},
+};
+
+const DriftCase kQuickDriftCases[] = {
+    {WorkloadKind::Varlen, "lstm", 8},
+};
+
+struct DriftBenchResult
+{
+    std::string name; ///< "varlen-bert" etc.
+    std::int64_t batch = 0;
+    int iterations = 0;
+    int classes = 0;
+    int measuredIters = 0;
+    double adaptiveMs = 0; ///< simulated wall of the adaptive session
+    double oracleMs = 0;   ///< schedule-weighted per-class steady state
+    double replanMs = 0;   ///< schedule-weighted per-class measured iter
+    double overheadFrac = 0; ///< adaptive / oracle - 1
+    bool ok = false;
+};
+
+/**
+ * Bounded-degradation gate: an adaptive Capuchin session over a dynamic
+ * schedule vs two counterfactuals built from per-class *pinned* sessions on
+ * the same union graph (same footprint, so the comparison is fair):
+ *
+ *  - oracle: every iteration billed at its class's steady-state duration —
+ *    as if a measured plan had existed for every class from iteration 0;
+ *  - replan-from-scratch: every iteration billed at its class's first
+ *    (measured, passive-mode) duration — as if the plan cache did not
+ *    exist and every shape change forced a full re-measurement.
+ *
+ * Times are *simulated* ticks, not host wall, so the floor is noise-free
+ * and the assertion runs in-process (no calibration normalization needed;
+ * these deliberately stay out of the flat "gate" blob, which normalizes by
+ * host speed and would false-trip on simulated quantities).
+ */
+DriftBenchResult
+runDrift(const DriftCase &dc)
+{
+    DriftBenchResult res;
+    res.name = std::string(workloadName(dc.kind)) +
+               (*dc.model ? std::string("-") + dc.model : "");
+    res.batch = dc.batch;
+
+    DynamicWorkload dw = buildWorkload(dc.kind, dc.model, dc.batch, 0);
+    const std::vector<std::size_t> &sched = dw.schedule;
+    res.iterations = static_cast<int>(sched.size()) * 2;
+
+    ExecConfig cfg;
+    cfg.variantSchedule = sched;
+    cfg.replay.enabled = true;
+    cfg.obsLevel = obs::ObsLevel::Metrics;
+    Session adaptive(Graph(dw.graph), cfg, makeCapuchinPolicy());
+    auto ra = adaptive.run(res.iterations);
+    if (ra.oom) {
+        std::cerr << res.name << "@" << dc.batch
+                  << ": ADAPTIVE DRIFT RUN OOMED: " << ra.oomMessage
+                  << "\n";
+        return res;
+    }
+    Tick adaptive_ticks = 0;
+    for (const IterationStats &it : ra.iterations)
+        adaptive_ticks += it.duration();
+
+    const obs::MetricsRegistry &metrics = adaptive.executor().obs().metrics;
+    res.classes =
+        static_cast<int>(metrics.counter("capu.drift.novel_class"));
+    res.measuredIters =
+        static_cast<int>(metrics.counter("capu.drift.measured_iters"));
+
+    // Per-class counterfactual rates from pinned single-class sessions.
+    std::size_t n_classes = dw.graph.variants().size();
+    std::vector<Tick> steady(n_classes, 0), first(n_classes, 0);
+    for (std::size_t k = 0; k < n_classes; ++k) {
+        ExecConfig pc;
+        pc.variantSchedule = {k};
+        Session pinned(Graph(dw.graph), pc, makeCapuchinPolicy());
+        auto rp = pinned.run(8);
+        if (rp.oom) {
+            std::cerr << res.name << ": PINNED CLASS " << k
+                      << " OOMED: " << rp.oomMessage << "\n";
+            return res;
+        }
+        steady[k] = rp.steadyIterationTicks(3);
+        first[k] = rp.iterations.front().duration();
+    }
+    Tick oracle_ticks = 0, replan_ticks = 0;
+    for (int i = 0; i < res.iterations; ++i) {
+        std::size_t cls = sched[static_cast<std::size_t>(i) % sched.size()];
+        oracle_ticks += steady[cls];
+        replan_ticks += first[cls];
+    }
+
+    res.adaptiveMs = ticksToMs(adaptive_ticks);
+    res.oracleMs = ticksToMs(oracle_ticks);
+    res.replanMs = ticksToMs(replan_ticks);
+    res.overheadFrac =
+        oracle_ticks > 0 ? static_cast<double>(adaptive_ticks) /
+                                   static_cast<double>(oracle_ticks) -
+                               1.0
+                         : 0.0;
+    res.ok = res.overheadFrac <= 0.15;
+    if (!res.ok)
+        std::cerr << res.name << "@" << dc.batch
+                  << ": DRIFT ADAPTATION OVERHEAD "
+                  << cellDouble(res.overheadFrac * 100.0, 1)
+                  << "% ABOVE 15% OF PER-SHAPE ORACLE\n";
+    return res;
+}
+
 std::string
 jsonNum(double v)
 {
@@ -807,6 +932,30 @@ main(int argc, char **argv)
                  "bisection, [1, 4096], 60-iteration probes)\n";
     bt.print(std::cout);
 
+    // ---- dynamic-workload adaptation (capudrift) ------------------------
+    const DriftCase *dcases = opt.quick ? kQuickDriftCases : kDriftCases;
+    std::size_t n_dcases = opt.quick ? std::size(kQuickDriftCases)
+                                     : std::size(kDriftCases);
+    std::vector<DriftBenchResult> drifts;
+    Table dt({"workload", "batch", "iters", "classes", "measured",
+              "adaptive (ms)", "oracle (ms)", "replan (ms)", "overhead",
+              "<=15%"});
+    for (std::size_t i = 0; i < n_dcases; ++i) {
+        DriftBenchResult res = runDrift(dcases[i]);
+        ok = ok && res.ok; // hard floor; runDrift already printed why
+        dt.addRow({res.name, cellInt(res.batch), cellInt(res.iterations),
+                   cellInt(res.classes), cellInt(res.measuredIters),
+                   cellDouble(res.adaptiveMs, 1),
+                   cellDouble(res.oracleMs, 1),
+                   cellDouble(res.replanMs, 1),
+                   cellDouble(res.overheadFrac * 100.0, 1) + "%",
+                   res.ok ? "yes" : "NO"});
+        drifts.push_back(std::move(res));
+    }
+    std::cout << "\ndynamic-workload adaptation (adaptive vs per-shape "
+                 "oracle vs replan-from-scratch, simulated ms)\n";
+    dt.print(std::cout);
+
     // ---- BENCH_perf.json -------------------------------------------------
     std::ostringstream js;
     js << "{\n"
@@ -874,9 +1023,26 @@ main(int argc, char **argv)
            << ", \"conserved\": " << (p.conserved ? "true" : "false")
            << "}" << (i + 1 < profiles.size() ? "," : "") << "\n";
     }
+    js << "  ],\n"
+       << "  \"drift\": [\n";
+    for (std::size_t i = 0; i < drifts.size(); ++i) {
+        const DriftBenchResult &d = drifts[i];
+        js << "    {\"workload\": \"" << d.name << "\", \"batch\": "
+           << d.batch << ", \"iterations\": " << d.iterations
+           << ", \"classes\": " << d.classes
+           << ", \"measured_iters\": " << d.measuredIters
+           << ", \"adaptive_ms\": " << jsonNum(d.adaptiveMs)
+           << ", \"oracle_ms\": " << jsonNum(d.oracleMs)
+           << ", \"replan_ms\": " << jsonNum(d.replanMs)
+           << ", \"overhead_frac\": " << jsonNum(d.overheadFrac)
+           << ", \"ok\": " << (d.ok ? "true" : "false") << "}"
+           << (i + 1 < drifts.size() ? "," : "") << "\n";
+    }
     js << "  ],\n";
     // Flat gate metrics: "time-like, lower is better" keys the baseline
-    // comparison scans for by name.
+    // comparison scans for by name. Drift numbers are simulated ticks, not
+    // host time — they gate in-process (<= 15% of the per-shape oracle)
+    // and stay out of this calibration-normalized blob.
     js << "  \"gate\": {";
     bool first = true;
     auto gate = [&](const std::string &key, double v) {

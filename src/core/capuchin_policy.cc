@@ -13,91 +13,137 @@ CapuchinPolicy::CapuchinPolicy(CapuchinOptions opts) : opts_(opts)
 {
 }
 
+CapuchinPolicy::ClassState &
+CapuchinPolicy::classFor(std::uint64_t cls) const
+{
+    if (cls >= classes_.size())
+        classes_.resize(cls + 1);
+    if (!classes_[cls])
+        classes_[cls] = std::make_unique<ClassState>();
+    return *classes_[cls];
+}
+
+int
+CapuchinPolicy::remeasures() const
+{
+    int total = 0;
+    for (const auto &cs : classes_) {
+        if (cs)
+            total += cs->remeasures;
+    }
+    return total;
+}
+
+void
+CapuchinPolicy::onShapeClass(std::uint64_t cls)
+{
+    currentClass_ = cls;
+}
+
 void
 CapuchinPolicy::beginIteration(ExecContext &ctx)
 {
-    iterStart_ = ctx.now();
-    driftAbs_ = 0.0;
-    driftBase_ = 0.0;
-    feedbackShiftedThisIter_ = false;
-    if (ctx.iteration() == 0) {
-        measured_ = true;
-        tracker_.reset();
-        measuredEvicted_ = 0;
-        measuredIterStart_ = iterStart_;
+    currentClass_ = ctx.shapeClass();
+    const bool dynamic = ctx.graph().dynamic();
+    ClassState &cs = cur();
+    cs.iterStart = ctx.now();
+    cs.driftAbs = 0.0;
+    cs.driftBase = 0.0;
+    cs.feedbackShiftedThisIter = false;
+    if (!cs.everCompleted) {
+        // First (or retried) measured execution of this shape class:
+        // passive on-demand swapping only, so a novel shape degrades to
+        // extra stalls instead of mis-planned OOM.
+        cs.measured = true;
+        cs.tracker.reset();
+        cs.measuredEvicted = 0;
+        cs.measuredIterStart = cs.iterStart;
+        if (dynamic) {
+            auto &o = ctx.obs();
+            if (!cs.novelNoted) {
+                cs.novelNoted = true;
+                o.metrics.add("capu.drift.novel_class");
+                o.tracer.instant(obs::kTrackDrift, obs::EventKind::Decision,
+                                 ctx.now(), "drift.novel",
+                                 static_cast<std::int64_t>(currentClass_));
+            }
+            o.metrics.add("capu.drift.measured_iters");
+        }
         return;
     }
-    if (remeasureRequested_) {
-        // The drift watchdog fired: the environment the plan was measured
-        // in no longer holds. Discard everything learned and re-enter
-        // measured execution for one clean iteration.
-        remeasureRequested_ = false;
-        measured_ = true;
-        tracker_.reset();
-        measuredEvicted_ = 0;
-        planBuilt_ = false;
-        planFromPartial_ = false;
-        plan_ = Plan{};
-        bestPlan_ = Plan{};
-        evictTriggers_.clear();
-        prefetchTriggers_.clear();
-        itemOf_.clear();
-        measuredTime_.clear();
-        targetBoost_ = 0;
-        guidedPassiveBytes_ = 0;
-        bestPassiveBytes_ = ~0ull;
-        refinementFrozen_ = false;
-        replans_ = 0;
-        triggersDirty_ = false;
-        measuredIterStart_ = iterStart_;
+    if (cs.remeasureRequested) {
+        // The drift watchdog fired: the environment this class's plan was
+        // measured in no longer holds. Discard everything learned for the
+        // class and re-enter measured execution for one clean iteration.
+        cs.remeasureRequested = false;
+        cs.measured = true;
+        cs.tracker.reset();
+        cs.measuredEvicted = 0;
+        cs.planBuilt = false;
+        cs.planFromPartial = false;
+        cs.plan = Plan{};
+        cs.bestPlan = Plan{};
+        cs.evictTriggers.clear();
+        cs.prefetchTriggers.clear();
+        cs.itemOf.clear();
+        cs.measuredTime.clear();
+        cs.targetBoost = 0;
+        cs.guidedPassiveBytes = 0;
+        cs.bestPassiveBytes = ~0ull;
+        cs.refinementFrozen = false;
+        cs.replans = 0;
+        cs.triggersDirty = false;
+        cs.measuredIterStart = cs.iterStart;
+        if (dynamic)
+            ctx.obs().metrics.add("capu.drift.measured_iters");
         return;
     }
-    measured_ = false;
-    if (!planBuilt_ || planFromPartial_) {
-        planFromPartial_ = false;
-        buildPlan(ctx);
+    cs.measured = false;
+    if (!cs.planBuilt || cs.planFromPartial) {
+        cs.planFromPartial = false;
+        buildPlan(ctx, cs);
     }
 }
 
 void
-CapuchinPolicy::buildPlan(ExecContext &ctx, bool audit)
+CapuchinPolicy::buildPlan(ExecContext &ctx, ClassState &cs, bool audit)
 {
     PolicyMakerOptions pm_opts;
     pm_opts.enableSwap = opts_.enableSwap;
     pm_opts.enableRecompute = opts_.enableRecompute;
     pm_opts.minTensorBytes = opts_.minTensorBytes;
-    PolicyMaker maker(ctx.graph(), tracker_, pm_opts);
+    PolicyMaker maker(ctx.graph(), cs.tracker, pm_opts);
 
     auto target = static_cast<std::uint64_t>(
-        static_cast<double>(measuredEvicted_) * opts_.savingMargin +
-        static_cast<double>(targetBoost_));
-    plan_ = maker.build(
+        static_cast<double>(cs.measuredEvicted) * opts_.savingMargin +
+        static_cast<double>(cs.targetBoost));
+    cs.plan = maker.build(
         target, [&](TensorId id) { return ctx.tensorBytes(id); },
         [&](std::uint64_t bytes) { return ctx.swapTime(bytes); },
         ctx.gpuCapacity());
 
-    rebuildTriggerMaps();
-    planBuilt_ = true;
+    rebuildTriggerMaps(cs);
+    cs.planBuilt = true;
     if (opts_.driftThreshold > 0.0) {
         // Baseline for the drift watchdog: the measured trace's
         // iteration-relative access times the plan assumes.
-        measuredTime_.clear();
-        for (const auto &rec : tracker_.sequence()) {
-            Tick rel = rec.time > measuredIterStart_
-                           ? rec.time - measuredIterStart_
+        cs.measuredTime.clear();
+        for (const auto &rec : cs.tracker.sequence()) {
+            Tick rel = rec.time > cs.measuredIterStart
+                           ? rec.time - cs.measuredIterStart
                            : 0;
-            measuredTime_[key(rec.tensor, rec.accessIndex)] = rel;
+            cs.measuredTime[key(rec.tensor, rec.accessIndex)] = rel;
         }
     }
-    inform("capuchin {}", plan_.summary());
+    inform("capuchin {}", cs.plan.summary());
 
     auto &o = ctx.obs();
     o.metrics.add("plan.builds");
-    o.metrics.setCounter("plan.items", plan_.items.size());
+    o.metrics.setCounter("plan.items", cs.plan.items.size());
     o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Plan, ctx.now(),
-                     "plan.build", -1, -1, plan_.plannedBytes);
+                     "plan.build", -1, -1, cs.plan.plannedBytes);
     if (o.tracing()) {
-        for (const auto &item : plan_.items) {
+        for (const auto &item : cs.plan.items) {
             if (item.mode != RegenChoice::Swap ||
                 item.triggerTensor == kInvalidTensor)
                 continue;
@@ -108,32 +154,33 @@ CapuchinPolicy::buildPlan(ExecContext &ctx, bool audit)
     }
 
     if (audit && opts_.planAudit)
-        opts_.planAudit(plan_, tracker_, ctx);
+        opts_.planAudit(cs.plan, cs.tracker, ctx);
 }
 
 void
-CapuchinPolicy::rebuildTriggerMaps()
+CapuchinPolicy::rebuildTriggerMaps(ClassState &cs)
 {
-    evictTriggers_.clear();
-    prefetchTriggers_.clear();
-    itemOf_.clear();
-    for (std::size_t i = 0; i < plan_.items.size(); ++i) {
-        const PlannedEviction &item = plan_.items[i];
-        evictTriggers_[key(item.tensor, item.evictAfterAccess)] = i;
-        itemOf_[item.tensor] = i;
+    cs.evictTriggers.clear();
+    cs.prefetchTriggers.clear();
+    cs.itemOf.clear();
+    for (std::size_t i = 0; i < cs.plan.items.size(); ++i) {
+        const PlannedEviction &item = cs.plan.items[i];
+        cs.evictTriggers[key(item.tensor, item.evictAfterAccess)] = i;
+        cs.itemOf[item.tensor] = i;
         if (item.mode == RegenChoice::Swap &&
             item.triggerTensor != kInvalidTensor) {
-            prefetchTriggers_[key(item.triggerTensor, item.triggerAccess)]
+            cs.prefetchTriggers[key(item.triggerTensor, item.triggerAccess)]
                 .push_back(i);
         }
     }
-    triggersDirty_ = false;
+    cs.triggersDirty = false;
 }
 
 void
 CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
 {
-    if (measured_) {
+    ClassState &cs = cur();
+    if (cs.measured) {
         AccessRecord rec;
         rec.tensor = event.tensor;
         rec.accessIndex = event.accessIndex;
@@ -143,8 +190,8 @@ CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
         rec.time = event.when > stall ? event.when - stall : 0;
         rec.isOutput = event.isOutput;
         rec.op = event.op;
-        tracker_.record(rec);
-        if (!planBuilt_)
+        cs.tracker.record(rec);
+        if (!cs.planBuilt)
             return;
         // A partial plan from an aborted measured attempt keeps guiding
         // while the trace is re-recorded (fall through to the triggers).
@@ -153,36 +200,37 @@ CapuchinPolicy::onAccess(ExecContext &ctx, const AccessEvent &event)
     // Guided execution: fire the plan's triggers for this exact access.
     auto k = key(event.tensor, event.accessIndex);
 
-    if (!measured_ && opts_.driftThreshold > 0.0) {
+    if (!cs.measured && opts_.driftThreshold > 0.0) {
         // Raw (stall-inclusive) timestamps: divergence caused by late
         // prefetches and slowed transfers is exactly the signal.
-        auto mt = measuredTime_.find(k);
-        if (mt != measuredTime_.end()) {
-            Tick rel = event.when > iterStart_ ? event.when - iterStart_ : 0;
+        auto mt = cs.measuredTime.find(k);
+        if (mt != cs.measuredTime.end()) {
+            Tick rel = event.when > cs.iterStart ? event.when - cs.iterStart
+                                                 : 0;
             auto a = static_cast<double>(rel);
             auto b = static_cast<double>(mt->second);
-            driftAbs_ += a > b ? a - b : b - a;
-            driftBase_ += b;
+            cs.driftAbs += a > b ? a - b : b - a;
+            cs.driftBase += b;
         }
     }
 
     auto &o = ctx.obs();
-    auto pf = opts_.enablePrefetch ? prefetchTriggers_.find(k)
-                                   : prefetchTriggers_.end();
-    if (pf != prefetchTriggers_.end()) {
+    auto pf = opts_.enablePrefetch ? cs.prefetchTriggers.find(k)
+                                   : cs.prefetchTriggers.end();
+    if (pf != cs.prefetchTriggers.end()) {
         for (std::size_t idx : pf->second) {
             o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
                              ctx.now(), "trigger.prefetch",
                              static_cast<std::int64_t>(
-                                 plan_.items[idx].tensor));
+                                 cs.plan.items[idx].tensor));
             o.metrics.add("trigger.prefetch");
-            ctx.prefetchAsync(plan_.items[idx].tensor);
+            ctx.prefetchAsync(cs.plan.items[idx].tensor);
         }
     }
 
-    auto ev = evictTriggers_.find(k);
-    if (ev != evictTriggers_.end()) {
-        const PlannedEviction &item = plan_.items[ev->second];
+    auto ev = cs.evictTriggers.find(k);
+    if (ev != cs.evictTriggers.end()) {
+        const PlannedEviction &item = cs.plan.items[ev->second];
         bool swap = item.mode == RegenChoice::Swap;
         o.tracer.instant(obs::kTrackPolicy, obs::EventKind::Decision,
                          ctx.now(),
@@ -200,12 +248,13 @@ bool
 CapuchinPolicy::onAllocFailure(ExecContext &ctx, std::uint64_t bytes)
 {
     // Passive mode (measured execution, and safety net while guided).
-    bool freed = passiveEvict(ctx, bytes);
+    bool freed = passiveEvict(ctx, cur(), bytes);
     return freed;
 }
 
 bool
-CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
+CapuchinPolicy::passiveEvict(ExecContext &ctx, ClassState &cs,
+                             std::uint64_t bytes)
 {
     std::uint64_t freed = 0;
     bool any = false;
@@ -221,13 +270,13 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
         ctx.obs().metrics.add("passive.evicted_bytes", evicted_bytes);
         if (!necessary)
             return;
-        if (measured_)
-            measuredEvicted_ += evicted_bytes;
+        if (cs.measured)
+            cs.measuredEvicted += evicted_bytes;
         else
-            guidedPassiveBytes_ += evicted_bytes;
+            cs.guidedPassiveBytes += evicted_bytes;
     };
     auto satisfied = [&] {
-        if (measured_) {
+        if (cs.measured) {
             // Measured execution runs at the feasibility edge: evict
             // beyond the immediate request (3x headroom) so the next few
             // giant allocations find contiguous space instead of facing a
@@ -248,12 +297,12 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
                                  obs::EventKind::Decision, ctx.now(),
                                  "passive.evict",
                                  static_cast<std::int64_t>(id));
-        if (planBuilt_) {
-            auto it = itemOf_.find(id);
-            if (it != itemOf_.end() &&
-                plan_.items[it->second].mode == RegenChoice::Recompute &&
+        if (cs.planBuilt) {
+            auto it = cs.itemOf.find(id);
+            if (it != cs.itemOf.end() &&
+                cs.plan.items[it->second].mode == RegenChoice::Recompute &&
                 ctx.accessCount(id) >=
-                    plan_.items[it->second].evictAfterAccess &&
+                    cs.plan.items[it->second].evictAfterAccess &&
                 ctx.status(id) == TensorStatus::In && !ctx.isPinned(id)) {
                 // Past its planned eviction point: this is a collectively
                 // retained rematerialization — re-dropping costs nothing.
@@ -299,8 +348,8 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
 
     // Cheapest first: re-drop tensors the plan regenerates by recompute
     // anyway (kept alive opportunistically by collective recomputation).
-    if (planBuilt_) {
-        for (const auto &item : plan_.items) {
+    if (cs.planBuilt) {
+        for (const auto &item : cs.plan.items) {
             if (satisfied())
                 break;
             if (item.mode != RegenChoice::Recompute)
@@ -323,7 +372,9 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
     // Victims from the beginning of the access list: the earliest-accessed
     // resident feature maps (their reuse lies deepest in the backward
     // pass). During the very first ops of measured execution the list may
-    // be short; fall back to scanning all tensors in id order.
+    // be short; fall back to scanning all tensors in id order. On dynamic
+    // graphs other classes' tensors are all Out, so the scan degenerates
+    // to this class's live set.
     std::unordered_set<TensorId> tried;
     auto try_evict = [&](TensorId id) {
         if (!tried.insert(id).second)
@@ -344,7 +395,7 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
             account(ctx.tensorBytes(id), necessary);
     };
 
-    for (const auto &rec : tracker_.sequence()) {
+    for (const auto &rec : cs.tracker.sequence()) {
         if (satisfied())
             break;
         try_evict(rec.tensor);
@@ -362,12 +413,13 @@ CapuchinPolicy::passiveEvict(ExecContext &ctx, std::uint64_t bytes)
 void
 CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
 {
-    if (measured_ || !opts_.enableFeedback || stall == 0)
+    ClassState &cs = cur();
+    if (cs.measured || !opts_.enableFeedback || stall == 0)
         return;
-    auto it = itemOf_.find(id);
-    if (it == itemOf_.end())
+    auto it = cs.itemOf.find(id);
+    if (it == cs.itemOf.end())
         return;
-    PlannedEviction &item = plan_.items[it->second];
+    PlannedEviction &item = cs.plan.items[it->second];
     if (item.mode != RegenChoice::Swap)
         return;
     auto deadband = static_cast<Tick>(
@@ -390,8 +442,8 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
         // Only an actual trigger movement dirties the maps; a shift
         // saturated at iteration start changes nothing, and treating it
         // as instability would block replay at a genuine fixed point.
-        triggersDirty_ = true;
-        feedbackShiftedThisIter_ = true;
+        cs.triggersDirty = true;
+        cs.feedbackShiftedThisIter = true;
     }
     if (auto *fe = ctx.faults())
         ++fe->stats().feedbackShifts;
@@ -400,35 +452,49 @@ CapuchinPolicy::onBackAccessStall(ExecContext &ctx, TensorId id, Tick stall)
 bool
 CapuchinPolicy::stableForReplay() const
 {
-    // Stable only once guided execution has settled: plan built and its
-    // refinement frozen, no trigger re-pick pending, no re-measurement
-    // scheduled, and the just-ended iteration fired no feedback shift (a
-    // shift changes the next iteration's prefetch timing, so the digest
-    // fixed point has not actually been reached yet).
-    return !measured_ && planBuilt_ && refinementFrozen_ &&
-           !triggersDirty_ && !remeasureRequested_ &&
-           !feedbackShiftedThisIter_;
+    // Stable only once guided execution has settled *for the upcoming
+    // shape class* (currentClass_, freshly announced via onShapeClass):
+    // plan built and its refinement frozen, no trigger re-pick pending,
+    // no re-measurement scheduled, and the class's last iteration fired
+    // no feedback shift (a shift changes the next iteration's prefetch
+    // timing, so the digest fixed point has not actually been reached
+    // yet). A class never seen before is by definition unstable.
+    if (currentClass_ >= classes_.size() || !classes_[currentClass_])
+        return false;
+    const ClassState &cs = *classes_[currentClass_];
+    return !cs.measured && cs.planBuilt && cs.refinementFrozen &&
+           !cs.triggersDirty && !cs.remeasureRequested &&
+           !cs.feedbackShiftedThisIter;
 }
 
 void
 CapuchinPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
 {
     (void)stats;
-    if (measured_)
+    ClassState &cs = cur();
+    if (cs.measured) {
+        cs.everCompleted = true;
         return;
+    }
 
-    if (opts_.driftThreshold > 0.0 && driftBase_ > 0.0 &&
-        remeasures_ < opts_.maxRemeasures &&
-        driftAbs_ / driftBase_ > opts_.driftThreshold) {
+    if (opts_.driftThreshold > 0.0 && cs.driftBase > 0.0 &&
+        cs.remeasures < opts_.maxRemeasures &&
+        cs.driftAbs / cs.driftBase > opts_.driftThreshold) {
         // Guided timestamps no longer match the trace the plan assumes:
         // schedule a full re-measurement instead of refining a stale plan.
-        ++remeasures_;
-        remeasureRequested_ = true;
-        int pct = static_cast<int>(driftAbs_ / driftBase_ * 100.0);
+        ++cs.remeasures;
+        cs.remeasureRequested = true;
+        int pct = static_cast<int>(cs.driftAbs / cs.driftBase * 100.0);
         auto &o = ctx.obs();
         o.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
                          ctx.now(), "recovery.remeasure");
         o.metrics.add("plan.remeasures");
+        if (ctx.graph().dynamic()) {
+            o.metrics.add("capu.drift.remeasures");
+            o.tracer.instant(obs::kTrackDrift, obs::EventKind::Recovery,
+                             ctx.now(), "drift.remeasure",
+                             static_cast<std::int64_t>(currentClass_));
+        }
         if (auto *fe = ctx.faults())
             ++fe->stats().remeasures;
         inform("capuchin: plan drift {}% exceeds threshold; re-entering "
@@ -442,77 +508,78 @@ CapuchinPolicy::endIteration(ExecContext &ctx, const IterationStats &stats)
     // ones did). If this iteration still fell back to passive evictions,
     // fold those bytes into the target and rebuild — hill-climbing on the
     // residual passive traffic, keeping the best plan seen so far.
-    if (!refinementFrozen_) {
-        if (guidedPassiveBytes_ < bestPassiveBytes_) {
-            bestPassiveBytes_ = guidedPassiveBytes_;
-            bestPlan_ = plan_;
+    if (!cs.refinementFrozen) {
+        if (cs.guidedPassiveBytes < cs.bestPassiveBytes) {
+            cs.bestPassiveBytes = cs.guidedPassiveBytes;
+            cs.bestPlan = cs.plan;
         }
         bool coverage_exhausted =
-            plan_.plannedBytes + (64ull << 20) < plan_.targetBytes;
-        if (guidedPassiveBytes_ == 0 || replans_ >= opts_.maxReplans ||
+            cs.plan.plannedBytes + (64ull << 20) < cs.plan.targetBytes;
+        if (cs.guidedPassiveBytes == 0 || cs.replans >= opts_.maxReplans ||
             coverage_exhausted) {
             // Converged (or no further coverage available): settle on the
             // best plan observed.
-            refinementFrozen_ = true;
-            if (bestPassiveBytes_ != ~0ull && guidedPassiveBytes_ > 0) {
-                plan_ = bestPlan_;
-                rebuildTriggerMaps();
+            cs.refinementFrozen = true;
+            if (cs.bestPassiveBytes != ~0ull && cs.guidedPassiveBytes > 0) {
+                cs.plan = cs.bestPlan;
+                rebuildTriggerMaps(cs);
             }
-            guidedPassiveBytes_ = 0;
+            cs.guidedPassiveBytes = 0;
         } else {
-            targetBoost_ += guidedPassiveBytes_;
-            guidedPassiveBytes_ = 0;
-            ++replans_;
+            cs.targetBoost += cs.guidedPassiveBytes;
+            cs.guidedPassiveBytes = 0;
+            ++cs.replans;
             ctx.obs().tracer.instant(obs::kTrackPolicy,
                                      obs::EventKind::Plan, ctx.now(),
                                      "plan.refine");
             ctx.obs().metrics.add("plan.revisions");
-            buildPlan(ctx);
+            buildPlan(ctx, cs);
             return;
         }
     }
-    guidedPassiveBytes_ = 0;
+    cs.guidedPassiveBytes = 0;
 
-    if (!triggersDirty_)
+    if (!cs.triggersDirty)
         return;
     // Re-pick trigger accesses for the adjusted desired times.
-    PolicyMaker maker(ctx.graph(), tracker_, PolicyMakerOptions{});
-    for (auto &item : plan_.items) {
+    PolicyMaker maker(ctx.graph(), cs.tracker, PolicyMakerOptions{});
+    for (auto &item : cs.plan.items) {
         if (item.mode == RegenChoice::Swap)
             maker.repickTrigger(item);
     }
-    rebuildTriggerMaps();
+    rebuildTriggerMaps(cs);
 }
 
 bool
 CapuchinPolicy::onIterationAbort(ExecContext &ctx)
 {
-    if (measured_) {
+    ClassState &cs = cur();
+    if (cs.measured) {
         // Measured execution died at the feasibility edge. Learn from the
         // partial access trace: build a (partial) plan whose proactive
         // evictions relieve the next attempt, letting the trace extend
         // further each retry until one measured pass completes.
-        if (tracker_.empty())
+        if (cs.tracker.empty())
             return false;
         // Partial trace: last-access times are truncated, so plan
         // invariants cannot be judged fairly — skip the audit here; the
         // rebuild from the eventual complete trace gets audited.
-        buildPlan(ctx, /*audit=*/false);
-        planFromPartial_ = true;
+        buildPlan(ctx, cs, /*audit=*/false);
+        cs.planFromPartial = true;
         return true;
     }
     // Guided execution died: grow the saving target past what passive
     // mode managed to free and rebuild, while refinement budget remains.
-    if (replans_ >= opts_.maxReplans)
+    if (cs.replans >= opts_.maxReplans)
         return false;
-    targetBoost_ += guidedPassiveBytes_ + (512ull << 20);
-    guidedPassiveBytes_ = 0;
-    ++replans_;
-    refinementFrozen_ = false;
+    cs.targetBoost += cs.guidedPassiveBytes + (512ull << 20);
+    cs.guidedPassiveBytes = 0;
+    ++cs.replans;
+    cs.refinementFrozen = false;
     ctx.obs().tracer.instant(obs::kTrackPolicy, obs::EventKind::Plan,
                              ctx.now(), "plan.refine");
     ctx.obs().metrics.add("plan.revisions");
-    buildPlan(ctx);
+    buildPlan(ctx, cs);
     return true;
 }
 

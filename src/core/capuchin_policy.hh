@@ -78,7 +78,7 @@ struct CapuchinOptions
      * it.
      */
     double driftThreshold = 0.0;
-    /** Upper bound on drift-triggered re-measurements per session. */
+    /** Upper bound on drift-triggered re-measurements per shape class. */
     int maxRemeasures = 2;
     /**
      * Optional plan audit (capulint): invoked every time a plan is built
@@ -100,6 +100,7 @@ class CapuchinPolicy : public MemoryPolicy
     bool graphAgnostic() const override { return true; }
 
     void beginIteration(ExecContext &ctx) override;
+    void onShapeClass(std::uint64_t cls) override;
     void onAccess(ExecContext &ctx, const AccessEvent &event) override;
     bool onAllocFailure(ExecContext &ctx, std::uint64_t bytes) override;
     void onBackAccessStall(ExecContext &ctx, TensorId id,
@@ -108,48 +109,83 @@ class CapuchinPolicy : public MemoryPolicy
     bool onIterationAbort(ExecContext &ctx) override;
     bool stableForReplay() const override;
 
-    // --- introspection ---
-    const AccessTracker &tracker() const { return tracker_; }
-    const Plan &plan() const { return plan_; }
-    bool planBuilt() const { return planBuilt_; }
-    std::uint64_t measuredEvictedBytes() const { return measuredEvicted_; }
+    // --- introspection (state of the current shape class; a static
+    // session has exactly one, so these read as before capudrift) ---
+    const AccessTracker &tracker() const { return cur().tracker; }
+    const Plan &plan() const { return cur().plan; }
+    bool planBuilt() const { return cur().planBuilt; }
+    std::uint64_t measuredEvictedBytes() const
+    {
+        return cur().measuredEvicted;
+    }
     int feedbackAdjustments() const { return feedbackAdjustments_; }
-    int remeasures() const { return remeasures_; }
+    /** Drift-triggered re-measurements, summed over all shape classes. */
+    int remeasures() const;
+    /** Shape classes encountered so far (>= 1 once running). */
+    std::size_t shapeClassCount() const { return classes_.size(); }
 
   private:
+    /**
+     * The complete measure/plan/refine lifecycle of one shape class. A
+     * static graph uses exactly class 0; a dynamic graph gets one entry
+     * per recurring shape, each caching its measured trace and plan so a
+     * recurring shape never re-measures (the capudrift plan cache).
+     */
+    struct ClassState
+    {
+        AccessTracker tracker;
+        Plan plan;
+        /** A measured iteration has completed for this class (replaces
+         *  the pre-capudrift `ctx.iteration() == 0` virginity test:
+         *  aborts never reach endIteration, so a virgin class keeps
+         *  re-entering measured execution on each retry). */
+        bool everCompleted = false;
+        /** The drift track announced this class's first measurement. */
+        bool novelNoted = false;
+        bool measured = true;
+        bool planBuilt = false;
+        bool planFromPartial = false;
+        bool triggersDirty = false;
+        std::uint64_t measuredEvicted = 0;
+        std::uint64_t targetBoost = 0;
+        std::uint64_t guidedPassiveBytes = 0;
+        std::uint64_t bestPassiveBytes = ~0ull;
+        Plan bestPlan;
+        bool refinementFrozen = false;
+        int replans = 0;
+        /** A feedback shift fired during the current/just-ended iter. */
+        bool feedbackShiftedThisIter = false;
+
+        // --- drift watchdog state (inert while driftThreshold == 0) ---
+        int remeasures = 0;
+        bool remeasureRequested = false;
+        Tick iterStart = 0;
+        Tick measuredIterStart = 0;
+        double driftAbs = 0.0;
+        double driftBase = 0.0;
+        /** key(tensor, accessIndex) -> measured iteration-relative tick. */
+        std::unordered_map<std::uint64_t, Tick> measuredTime;
+
+        /** (tensor, accessIndex) keys -> plan item indices. */
+        std::unordered_map<std::uint64_t, std::size_t> evictTriggers;
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+            prefetchTriggers;
+        std::unordered_map<TensorId, std::size_t> itemOf;
+    };
+
     CapuchinOptions opts_;
-    AccessTracker tracker_;
-    Plan plan_;
-    bool measured_ = true;
-    bool planBuilt_ = false;
-    bool planFromPartial_ = false;
-    bool triggersDirty_ = false;
-    std::uint64_t measuredEvicted_ = 0;
-    std::uint64_t targetBoost_ = 0;
-    std::uint64_t guidedPassiveBytes_ = 0;
-    std::uint64_t bestPassiveBytes_ = ~0ull;
-    Plan bestPlan_;
-    bool refinementFrozen_ = false;
-    int replans_ = 0;
     int feedbackAdjustments_ = 0;
-    /** A feedback shift fired during the current/just-ended iteration. */
-    bool feedbackShiftedThisIter_ = false;
+    /**
+     * Shape class of the upcoming/current iteration. Set by onShapeClass
+     * (fired before the replay engine asks stableForReplay) and confirmed
+     * from ctx.shapeClass() at beginIteration. Always 0 on static graphs.
+     */
+    std::uint64_t currentClass_ = 0;
+    /** Plan cache, indexed by shape class (grown on first encounter). */
+    mutable std::vector<std::unique_ptr<ClassState>> classes_;
 
-    // --- drift watchdog state (inert while driftThreshold == 0) ---
-    int remeasures_ = 0;
-    bool remeasureRequested_ = false;
-    Tick iterStart_ = 0;
-    Tick measuredIterStart_ = 0;
-    double driftAbs_ = 0.0;
-    double driftBase_ = 0.0;
-    /** key(tensor, accessIndex) -> measured iteration-relative tick. */
-    std::unordered_map<std::uint64_t, Tick> measuredTime_;
-
-    /** (tensor, accessIndex) keys -> plan item indices. */
-    std::unordered_map<std::uint64_t, std::size_t> evictTriggers_;
-    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
-        prefetchTriggers_;
-    std::unordered_map<TensorId, std::size_t> itemOf_;
+    ClassState &classFor(std::uint64_t cls) const;
+    ClassState &cur() const { return classFor(currentClass_); }
 
     static std::uint64_t
     key(TensorId tensor, int access_index)
@@ -158,9 +194,9 @@ class CapuchinPolicy : public MemoryPolicy
                static_cast<std::uint32_t>(access_index);
     }
 
-    void buildPlan(ExecContext &ctx, bool audit = true);
-    void rebuildTriggerMaps();
-    bool passiveEvict(ExecContext &ctx, std::uint64_t bytes);
+    void buildPlan(ExecContext &ctx, ClassState &cs, bool audit = true);
+    void rebuildTriggerMaps(ClassState &cs);
+    bool passiveEvict(ExecContext &ctx, ClassState &cs, std::uint64_t bytes);
 };
 
 std::unique_ptr<MemoryPolicy> makeCapuchinPolicy(CapuchinOptions opts = {});

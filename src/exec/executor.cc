@@ -47,6 +47,8 @@ Executor::Executor(const Graph &graph, ExecConfig config,
     replayArmed_ = config_.replay.enabled && !faults_.enabled();
     if (replayArmed_)
         obs_.tracer.setTrackName(obs::kTrackReplay, "replay");
+    if (graph_.dynamic())
+        obs_.tracer.setTrackName(obs::kTrackDrift, "drift");
 }
 
 TensorState &
@@ -124,10 +126,58 @@ Executor::setup()
         for (TensorId in : graph_.op(schedule_[p]).inputs)
             lastUsePos_[in] = static_cast<int>(p);
     }
+    // Dynamic graphs: slice the global topological order per variant. A
+    // variant slice is an order-preserving filter of schedule_, so within-
+    // variant relative positions (all lastUsePos_ comparisons ever made)
+    // are unchanged by the slicing.
+    if (graph_.dynamic()) {
+        const auto &vars = graph_.variants();
+        std::vector<std::size_t> variantOf(graph_.numOps(), vars.size());
+        for (std::size_t v = 0; v < vars.size(); ++v) {
+            for (OpId id : vars[v].ops) {
+                if (variantOf[id] != vars.size())
+                    panic("op {} belongs to two variants",
+                          graph_.op(id).name);
+                variantOf[id] = v;
+            }
+        }
+        variantSchedules_.assign(vars.size(), {});
+        for (OpId id : schedule_) {
+            if (variantOf[id] == vars.size())
+                panic("op {} of dynamic graph {} belongs to no variant",
+                      graph_.op(id).name, graph_.name());
+            variantSchedules_[variantOf[id]].push_back(id);
+        }
+    }
     setupWeights();
     if (policy_)
         policy_->attach(graph_, schedule_, config_);
     setupDone_ = true;
+}
+
+void
+Executor::setActiveVariant(std::size_t variant)
+{
+    if (!setupDone_)
+        setup();
+    if (!graph_.dynamic()) {
+        if (variant == 0)
+            return;
+        panic("setActiveVariant({}) on static graph {}", variant,
+              graph_.name());
+    }
+    if (variant >= graph_.variants().size())
+        panic("variant {} out of range ({} variants)", variant,
+              graph_.variants().size());
+    activeVariant_ = variant;
+    if (policy_)
+        policy_->onShapeClass(variant);
+}
+
+const std::vector<OpId> &
+Executor::activeSchedule() const
+{
+    return graph_.dynamic() ? variantSchedules_[activeVariant_] : schedule_;
 }
 
 void
@@ -197,7 +247,7 @@ Executor::runIteration()
     if (!setupDone_)
         setup();
     beginIterationState();
-    for (OpId id : schedule_)
+    for (OpId id : activeSchedule())
         runOp(id);
     finishIterationState();
     return stats_;
@@ -217,6 +267,17 @@ Executor::beginIterationState()
         obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker,
                             stats_.begin,
                             "iter:" + std::to_string(iteration_));
+    if (graph_.dynamic()) {
+        if (obs_.tracing())
+            obs_.tracer.instant(obs::kTrackDrift, obs::EventKind::Marker,
+                                stats_.begin,
+                                "drift.class:" +
+                                    std::to_string(activeVariant_));
+        // Gauge, not counter: the class index is non-monotonic and counter
+        // deltas are unsigned in the replay digest machinery.
+        obs_.metrics.set("capu.drift.class",
+                         static_cast<double>(activeVariant_));
+    }
     if (policy_)
         policy_->beginIteration(*this);
 }

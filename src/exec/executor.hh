@@ -200,6 +200,13 @@ struct ExecConfig
 
     /** Steady-state iteration replay (capureplay). */
     ReplayOptions replay;
+
+    /**
+     * Shape-class schedule for dynamic graphs (capudrift): variant index
+     * per iteration, applied cyclically. Empty means variant 0 every
+     * iteration. Ignored for static graphs.
+     */
+    std::vector<std::size_t> variantSchedule;
 };
 
 struct IterationStats
@@ -290,6 +297,16 @@ class Executor : public ExecContext
     IterationStats runIteration();
 
     /**
+     * Select which graph variant (shape class) the next iteration runs.
+     * Only valid on dynamic graphs; notifies the policy via onShapeClass.
+     * Must be called at an iteration boundary, before the replay engine's
+     * canReplay() for the upcoming iteration.
+     */
+    void setActiveVariant(std::size_t variant);
+
+    std::size_t activeVariant() const { return activeVariant_; }
+
+    /**
      * Recover from a mid-iteration OomError: release every non-weight
      * tensor (GPU and host copies), drain pending frees, clear barriers.
      * The same iteration index can then be re-run.
@@ -316,6 +333,7 @@ class Executor : public ExecContext
     Tick memStallSoFar() const override;
     const CostModel &costModel() const override { return cost_; }
     Tick now() const override { return clock_; }
+    std::uint64_t shapeClass() const override { return activeVariant_; }
     obs::Obs &obs() override { return obs_; }
     faults::FaultEngine *faults() override { return &faults_; }
 
@@ -392,6 +410,9 @@ class Executor : public ExecContext
     PcieLink pcie_;
 
     std::vector<OpId> schedule_;
+    /// Per-variant filtered schedules (dynamic graphs only; else empty).
+    std::vector<std::vector<OpId>> variantSchedules_;
+    std::size_t activeVariant_ = 0;
     std::vector<TensorState> states_;
     std::vector<int> usesPerIteration_; ///< consumer count per tensor
     std::vector<int> lastUsePos_; ///< schedule index of last consumer (-1)
@@ -416,6 +437,8 @@ class Executor : public ExecContext
     std::uint64_t replayCounterOffset(std::string_view name) const;
 
     // --- helpers ---
+    /** Op list the current iteration runs (variant slice when dynamic). */
+    const std::vector<OpId> &activeSchedule() const;
     TensorState &state(TensorId id);
     const TensorState &state(TensorId id) const;
     std::uint64_t allocBytes(TensorId id) const;

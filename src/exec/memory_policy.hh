@@ -126,6 +126,13 @@ class ExecContext
     virtual Tick now() const { return 0; }
 
     /**
+     * The shape class (graph-variant index) of the iteration being
+     * executed. Always 0 for static graphs, so policies without shape
+     * awareness behave exactly as before.
+     */
+    virtual std::uint64_t shapeClass() const { return 0; }
+
+    /**
      * Observability sink for policy decisions. Defaults to a shared inert
      * instance, so policies instrument unconditionally and pay one branch
      * when observability is off.
@@ -185,6 +192,14 @@ class MemoryPolicy
     }
 
     virtual void beginIteration(ExecContext &ctx) { (void)ctx; }
+
+    /**
+     * The executor switched the active shape class (graph variant) for the
+     * upcoming iteration. Fires *before* the replay engine queries
+     * `stableForReplay()`, so shape-aware policies can answer for the
+     * class about to run. Never called on static graphs.
+     */
+    virtual void onShapeClass(std::uint64_t cls) { (void)cls; }
 
     /** Every tensor access, in execution order (the paper's TAT feed). */
     virtual void

@@ -31,7 +31,7 @@ ReplayEngine::ReplayEngine(Executor &exec, MemoryPolicy *policy)
 {
     if (!exec_.replayArmed())
         return;
-    state_ = State::Observing;
+    armed_ = true;
     const Graph &g = exec_.graph();
     for (std::size_t t = 0; t < g.numTensors(); ++t) {
         auto id = static_cast<TensorId>(t);
@@ -40,16 +40,25 @@ ReplayEngine::ReplayEngine(Executor &exec, MemoryPolicy *policy)
     }
 }
 
+ReplayEngine::Track &
+ReplayEngine::trackFor(std::uint64_t cls)
+{
+    return tracks_[cls]; // default state: Observing
+}
+
 bool
 ReplayEngine::canReplay()
 {
-    if (state_ != State::Steady)
+    if (!armed_ || disabled_)
+        return false;
+    Track &tr = trackFor(exec_.shapeClass());
+    if (tr.state != State::Steady)
         return false;
     if (policy_ && !policy_->stableForReplay())
         return false;
     if (opts_.auditInterval > 0 &&
-        replayedSinceAudit_ >= opts_.auditInterval) {
-        auditPending_ = true;
+        tr.replayedSinceAudit >= opts_.auditInterval) {
+        tr.auditPending = true;
         return false;
     }
     return true;
@@ -59,7 +68,7 @@ void
 ReplayEngine::observe(const IterationStats &stats)
 {
     ++summary_.executed;
-    if (state_ == State::Disabled)
+    if (!armed_ || disabled_)
         return;
     if (!haveMarks_) {
         // First executed iteration after (re)entry: only a baseline.
@@ -70,74 +79,83 @@ ReplayEngine::observe(const IterationStats &stats)
     Delta delta = captureDelta(stats);
     captureMarks(marks_);
     bool stable = !policy_ || policy_->stableForReplay();
+    // The class that just executed (Session selects it before running, so
+    // it is still current here).
+    Track &tr = trackFor(exec_.shapeClass());
 
-    if (state_ == State::Steady) {
+    if (tr.state == State::Steady) {
         // An executed iteration while steady is either a due audit or a
         // fill-in forced by a policy-instability blip.
-        bool was_audit = auditPending_;
-        auditPending_ = false;
-        replayedSinceAudit_ = 0;
+        bool was_audit = tr.auditPending;
+        tr.auditPending = false;
+        tr.replayedSinceAudit = 0;
         if (was_audit)
             ++summary_.audits;
-        if (stable && delta.digest == tpl_.digest) {
+        if (stable && delta.digest == tr.tpl.digest) {
             // Digest reproduced: refresh the template so its cached trace
             // events and clock offsets stay ring-fresh.
-            tpl_ = std::move(delta);
+            tr.tpl = std::move(delta);
             return;
         }
         if (was_audit) {
             ++summary_.auditMismatches;
             if (summary_.auditMismatches >= opts_.maxAuditMismatches) {
-                state_ = State::Disabled;
+                disabled_ = true;
                 return;
             }
         }
         // The fixed point moved (legitimately, if the policy adapted);
         // hunt for the new one.
-        state_ = State::Observing;
-        lastDigest_ = delta.digest;
-        haveLastDigest_ = stable;
+        tr.state = State::Observing;
+        tr.lastDigest = delta.digest;
+        tr.haveLastDigest = stable;
         return;
     }
 
-    // Observing: two consecutive stable iterations with equal digests
-    // establish the fixed point.
-    if (stable && haveLastDigest_ && delta.digest == lastDigest_) {
-        tpl_ = std::move(delta);
-        state_ = State::Steady;
-        replayedSinceAudit_ = 0;
+    // Observing: two consecutive stable iterations of this shape class
+    // with equal digests establish its fixed point.
+    if (stable && tr.haveLastDigest && delta.digest == tr.lastDigest) {
+        tr.tpl = std::move(delta);
+        tr.state = State::Steady;
+        tr.replayedSinceAudit = 0;
         return;
     }
-    lastDigest_ = delta.digest;
-    haveLastDigest_ = stable;
+    tr.lastDigest = delta.digest;
+    tr.haveLastDigest = stable;
 }
 
 void
 ReplayEngine::noteAbort()
 {
-    if (state_ == State::Disabled)
+    if (!armed_ || disabled_)
         return;
-    state_ = State::Observing;
+    // The machine was force-reset mid-iteration: every class's cached
+    // steady state describes a layout that no longer exists.
+    for (auto &[cls, tr] : tracks_) {
+        (void)cls;
+        tr.state = State::Observing;
+        tr.haveLastDigest = false;
+        tr.auditPending = false;
+        tr.replayedSinceAudit = 0;
+    }
     haveMarks_ = false;
-    haveLastDigest_ = false;
-    auditPending_ = false;
-    replayedSinceAudit_ = 0;
 }
 
 IterationStats
 ReplayEngine::synthesize()
 {
-    IterationStats st = tpl_.stats;
+    Track &tr = trackFor(exec_.shapeClass());
+    IterationStats st = tr.tpl.stats;
     // Same begin rule as Executor::beginIterationState; at the fixed point
     // both operands equal the previous iteration's end.
     Tick now = std::max(exec_.now(), exec_.computeStream().busyUntil());
     st.iteration = exec_.iteration();
     st.begin = now;
-    st.end = now + tpl_.shift.dt;
+    st.end = now + tr.tpl.shift.dt;
 
-    emitSynthesized(st);
-    exec_.replayApply(tpl_.shift);
-    for (const auto &[id, bumps] : tpl_.weightBumps)
+    emitSynthesized(st, tr.tpl);
+    exec_.replayApply(tr.tpl.shift);
+    for (const auto &[id, bumps] : tr.tpl.weightBumps)
         exec_.replayBumpWeight(id, bumps);
 
     // Re-baseline after every synthesized iteration: an eventual audit
@@ -145,7 +163,7 @@ ReplayEngine::synthesize()
     // replayed span.
     captureMarks(marks_);
     ++summary_.replayed;
-    ++replayedSinceAudit_;
+    ++tr.replayedSinceAudit;
     return st;
 }
 
@@ -292,15 +310,15 @@ ReplayEngine::digestOf(const Delta &d) const
 }
 
 void
-ReplayEngine::emitSynthesized(const IterationStats &st)
+ReplayEngine::emitSynthesized(const IterationStats &st, const Delta &tpl)
 {
     obs::Obs &obs = exec_.obs();
     if (obs.tracing()) {
-        Tick offset = st.begin - tpl_.stats.begin;
+        Tick offset = st.begin - tpl.stats.begin;
         obs.tracer.instant(obs::kTrackReplay, obs::EventKind::Marker,
                            st.begin,
                            "replay.iter:" + std::to_string(st.iteration));
-        for (const obs::TraceEvent &tev : tpl_.events) {
+        for (const obs::TraceEvent &tev : tpl.events) {
             obs::TraceEvent ev = tev;
             ev.ts += offset;
             // Iteration boundary markers carry the index in their label.
@@ -313,14 +331,14 @@ ReplayEngine::emitSynthesized(const IterationStats &st)
     }
     if (obs.metricsOn()) {
         auto &m = obs.metrics;
-        for (const auto &[name, delta] : tpl_.counterDeltas) {
+        for (const auto &[name, delta] : tpl.counterDeltas) {
             m.add(name, delta);
             if (isRawMirror(name))
                 exec_.addReplayCounterOffset(name, delta);
         }
-        for (const auto &[name, value] : tpl_.gauges)
+        for (const auto &[name, value] : tpl.gauges)
             m.set(name, value);
-        for (const auto &[name, hist] : tpl_.histDeltas)
+        for (const auto &[name, hist] : tpl.histDeltas)
             m.mergeHistogram(name, hist);
         m.add("replay.iterations");
         m.snapshotIteration(st.iteration);

@@ -24,6 +24,15 @@
  * Replay is never armed while a fault plan is active, and an unstable
  * policy (pending plan rebuild, trigger shift, re-measurement) pauses
  * synthesis until the digest re-converges.
+ *
+ * Dynamic workloads (capudrift): digests, templates and steady/observing
+ * state are all tracked *per shape class* — a recurring class of a dynamic
+ * stream reaches its own fixed point and synthesizes even while other
+ * classes are still measuring. This works because every iteration returns
+ * the arena to the weights-only layout: each class's iteration starts from
+ * an equivalent machine state regardless of which class ran before it, so
+ * per-class digests converge under interleaving. Audit mismatches count
+ * globally and disarm the whole engine.
  */
 
 #ifndef CAPU_EXEC_REPLAY_HH
@@ -77,7 +86,6 @@ class ReplayEngine
   private:
     enum class State
     {
-        Disabled,  ///< not armed, or too many audit mismatches
         Observing, ///< hashing executed iterations, hunting the fixed point
         Steady,    ///< template cached; synthesizing
     };
@@ -109,24 +117,39 @@ class ReplayEngine
         std::uint64_t digest = 0;
     };
 
+    /**
+     * Per-shape-class replay state. Static graphs use exactly class 0, so
+     * a single Track reproduces the pre-capudrift behavior bit for bit.
+     * Marks stay global (they snapshot the one machine), but digests,
+     * fixed-point hunting and audit cadence are per class.
+     */
+    struct Track
+    {
+        State state = State::Observing;
+        std::uint64_t lastDigest = 0;
+        bool haveLastDigest = false;
+        Delta tpl;
+        int replayedSinceAudit = 0;
+        bool auditPending = false;
+    };
+
     void captureMarks(Marks &into) const;
     Delta captureDelta(const IterationStats &stats) const;
     std::uint64_t digestOf(const Delta &delta) const;
-    void emitSynthesized(const IterationStats &st);
+    void emitSynthesized(const IterationStats &st, const Delta &tpl);
+    Track &trackFor(std::uint64_t cls);
 
     Executor &exec_;
     MemoryPolicy *policy_;
     ReplayOptions opts_;
-    State state_ = State::Disabled;
+    bool armed_ = false;
+    /** Too many audit mismatches: the whole engine disarms. */
+    bool disabled_ = false;
     std::vector<TensorId> weightIds_;
 
     bool haveMarks_ = false;
     Marks marks_;
-    std::uint64_t lastDigest_ = 0;
-    bool haveLastDigest_ = false;
-    Delta tpl_;
-    int replayedSinceAudit_ = 0;
-    bool auditPending_ = false;
+    std::map<std::uint64_t, Track> tracks_;
     ReplaySummary summary_;
 };
 

@@ -57,11 +57,23 @@ Session::run(int iterations)
     result.iterations.reserve(static_cast<std::size_t>(
         std::max(iterations, 0)));
     ReplayEngine replay(*exec_, policy_.get());
+    const bool dynamic = graph_.dynamic();
+    auto variantAt = [this](int iter) -> std::size_t {
+        if (config_.variantSchedule.empty())
+            return 0;
+        return config_.variantSchedule[static_cast<std::size_t>(iter) %
+                                       config_.variantSchedule.size()];
+    };
     try {
         exec_->setup();
         int completed = 0;
         int aborts = 0;
         while (completed < iterations) {
+            // Select the upcoming shape class before consulting the replay
+            // engine: both replay arming and policy stability are per
+            // class (capudrift).
+            if (dynamic)
+                exec_->setActiveVariant(variantAt(exec_->iteration()));
             if (replay.canReplay()) {
                 result.iterations.push_back(replay.synthesize());
                 ++completed;
@@ -102,6 +114,37 @@ SessionResult::postMortem() const
     return oomContext.describe(oomRequestedBytes);
 }
 
+namespace
+{
+
+/**
+ * Heaviest shape class of a dynamic graph: the variant whose ops produce
+ * the most non-weight bytes per iteration. Used to pin max-batch probe
+ * sessions to the worst case instead of cycling the whole schedule.
+ */
+std::size_t
+worstCaseVariant(const Graph &g)
+{
+    std::size_t worst = 0;
+    std::uint64_t worst_bytes = 0;
+    for (std::size_t v = 0; v < g.variants().size(); ++v) {
+        std::uint64_t bytes = 0;
+        for (OpId id : g.variants()[v].ops) {
+            for (TensorId out : g.op(id).outputs) {
+                if (g.tensor(out).kind != TensorKind::Weight)
+                    bytes += g.tensor(out).bytes;
+            }
+        }
+        if (bytes > worst_bytes) {
+            worst_bytes = bytes;
+            worst = v;
+        }
+    }
+    return worst;
+}
+
+} // namespace
+
 std::int64_t
 findMaxBatch(const GraphBuilderFn &builder,
              const PolicyFactoryFn &make_policy, const ExecConfig &config,
@@ -118,11 +161,22 @@ findMaxBatch(const GraphBuilderFn &builder,
     // Sessions are expensive; robust() re-probes batch - step and the
     // bisection revisits midpoints, so feasibility is memoized per batch.
     std::map<std::int64_t, bool> memo;
+    bool saw_dynamic = false;
     auto feasible = [&](std::int64_t batch) {
         auto it = memo.find(batch);
         if (it != memo.end())
             return it->second;
-        Session session(builder(batch), probe_config, make_policy());
+        Graph g = builder(batch);
+        ExecConfig pc = probe_config;
+        if (g.dynamic()) {
+            // Dynamic workload: probe the heaviest shape class only —
+            // conservative on footprint and far cheaper than cycling the
+            // schedule. The winner is re-validated under the true
+            // schedule below.
+            saw_dynamic = true;
+            pc.variantSchedule = {worstCaseVariant(g)};
+        }
+        Session session(std::move(g), pc, make_policy());
         bool ok = !session.run(iterations).oom;
         memo.emplace(batch, ok);
         return ok;
@@ -171,15 +225,48 @@ findMaxBatch(const GraphBuilderFn &builder,
         bad = good;
         good = lo;
     }
-    if (good == hi)
-        return hi;
-    // Invariant: good robust-feasible (or lo), bad considered infeasible.
-    while (good + 1 < bad) {
-        std::int64_t mid = good + (bad - good) / 2;
-        if (robust(mid))
-            good = mid;
-        else
-            bad = mid;
+    if (good != hi) {
+        // Invariant: good robust-feasible (or lo), bad considered
+        // infeasible.
+        while (good + 1 < bad) {
+            std::int64_t mid = good + (bad - good) / 2;
+            if (robust(mid))
+                good = mid;
+            else
+                bad = mid;
+        }
+    }
+    if (saw_dynamic && good > 0) {
+        // Worst-class probes are conservative on footprint but not on
+        // fragmentation: interleaving shape classes lays the arena out
+        // differently. Re-validate the witness under the caller's true
+        // schedule (covering at least one full cycle so every class runs)
+        // and walk the answer down if it fails.
+        int horizon = std::max(
+            iterations,
+            static_cast<int>(config.variantSchedule.size()) + 2);
+        std::map<std::int64_t, bool> memo_true;
+        auto feasible_true = [&](std::int64_t batch) {
+            auto it = memo_true.find(batch);
+            if (it != memo_true.end())
+                return it->second;
+            Session session(builder(batch), probe_config, make_policy());
+            bool ok = !session.run(horizon).oom;
+            memo_true.emplace(batch, ok);
+            return ok;
+        };
+        if (!feasible_true(good)) {
+            std::int64_t tbad = good;
+            std::int64_t tgood = feasible_true(lo) ? lo : 0;
+            while (tgood > 0 && tgood + 1 < tbad) {
+                std::int64_t mid = tgood + (tbad - tgood) / 2;
+                if (feasible_true(mid))
+                    tgood = mid;
+                else
+                    tbad = mid;
+            }
+            good = tgood;
+        }
     }
     return good;
 }

@@ -76,6 +76,23 @@ Graph::consumers(TensorId id) const
     return consumers_[id];
 }
 
+std::size_t
+Graph::addVariant(std::string name, std::vector<OpId> ops)
+{
+    GraphVariant v;
+    v.name = std::move(name);
+    v.ops = std::move(ops);
+    std::sort(v.ops.begin(), v.ops.end());
+    if (std::adjacent_find(v.ops.begin(), v.ops.end()) != v.ops.end())
+        panic("variant {} lists an op twice", v.name);
+    for (OpId id : v.ops) {
+        if (id >= ops_.size())
+            panic("variant {} references unknown op {}", v.name, id);
+    }
+    variants_.push_back(std::move(v));
+    return variants_.size() - 1;
+}
+
 std::vector<OpId>
 Graph::topoOrder() const
 {
@@ -140,6 +157,25 @@ Graph::validate() const
             panic("op {} has negative cost", op.name);
     }
     topoOrder(); // fatal()s on cycle
+
+    // Each variant must be producer-closed: every produced tensor a variant
+    // op reads must have its producer inside the same variant, so one
+    // variant forms a complete, independently schedulable iteration.
+    for (const auto &v : variants_) {
+        std::vector<char> member(ops_.size(), 0);
+        for (OpId id : v.ops)
+            member[id] = 1;
+        for (OpId id : v.ops) {
+            for (TensorId in : ops_[id].inputs) {
+                OpId prod = tensors_[in].producer;
+                if (prod != kInvalidOp && !member[prod])
+                    panic("variant {} op {} reads tensor {} produced "
+                          "outside the variant (op {})",
+                          v.name, ops_[id].name, tensors_[in].name,
+                          ops_[prod].name);
+            }
+        }
+    }
 }
 
 GraphStats

@@ -32,6 +32,20 @@ struct GraphStats
     std::size_t tensorCount = 0;
 };
 
+/**
+ * One shape class of a dynamic graph: a named, producer-closed subset of
+ * the graph's ops that forms a complete training iteration (fwd + bwd +
+ * update) for one input shape. A dynamic workload is modeled as the union
+ * of its per-shape subgraphs — each variant owns disjoint ops and
+ * non-weight tensors; weights are duplicated per variant, mirroring
+ * per-shape compiled executables that stay pinned simultaneously.
+ */
+struct GraphVariant
+{
+    std::string name;
+    std::vector<OpId> ops;
+};
+
 class Graph
 {
   public:
@@ -64,6 +78,19 @@ class Graph
     const std::vector<OpId> &consumers(TensorId id) const;
 
     /**
+     * Register a shape-class variant (a producer-closed op subset forming
+     * one complete iteration). Returns the variant index. A graph with at
+     * least one variant is *dynamic*: executors schedule one variant per
+     * iteration instead of the whole op set.
+     */
+    std::size_t addVariant(std::string name, std::vector<OpId> ops);
+
+    const std::vector<GraphVariant> &variants() const { return variants_; }
+
+    /** True when the graph carries shape-class variants. */
+    bool dynamic() const { return !variants_.empty(); }
+
+    /**
      * Deterministic topological order (Kahn's algorithm, ready set ordered
      * by op id). fatal()s on a cycle.
      */
@@ -87,6 +114,7 @@ class Graph
     std::vector<TensorDesc> tensors_;
     std::vector<Operation> ops_;
     std::vector<std::vector<OpId>> consumers_;
+    std::vector<GraphVariant> variants_;
 };
 
 } // namespace capu

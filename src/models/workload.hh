@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic-workload generators: graphs whose iteration shape varies.
+ *
+ * A dynamic workload is a union graph of shape-class variants (see
+ * GraphVariant) plus a seeded iteration schedule that picks one variant per
+ * iteration. Three families model the ways real training streams drift:
+ *
+ *  - varlen:      variable-sequence-length NLP batches (bert / lstm), the
+ *                 bucketed-padding regime of production language models;
+ *  - batch-ramp:  a mid-training batch-size change (warmup at a fraction of
+ *                 the target batch, then ramp up);
+ *  - branchy:     a control-flow model whose active subgraph differs per
+ *                 iteration (mixture-of-experts-style routing).
+ *
+ * Schedules are deterministic in (kind, seed) so runs are reproducible and
+ * replay digests can converge per shape class.
+ */
+
+#ifndef CAPU_MODELS_WORKLOAD_HH
+#define CAPU_MODELS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace capu
+{
+
+enum class WorkloadKind
+{
+    Static,    ///< plain single-shape graph, empty schedule
+    Varlen,    ///< variable sequence length (bert / lstm only)
+    BatchRamp, ///< mid-training batch-size ramp (any model)
+    Branchy,   ///< per-iteration control flow (own model, ignores --model)
+};
+
+const char *workloadName(WorkloadKind kind);
+
+/** Parse a --workload argument; returns false on unknown name. */
+bool workloadFromString(const std::string &name, WorkloadKind &out);
+
+/** All dynamic kinds (the "dynamic zoo"), for sweeps. */
+std::vector<WorkloadKind> dynamicWorkloads();
+
+struct DynamicWorkload
+{
+    Graph graph;
+    /**
+     * Variant index per iteration, applied cyclically
+     * (`schedule[iter % schedule.size()]`). Empty for Static.
+     */
+    std::vector<std::size_t> schedule;
+};
+
+/**
+ * Build a static single-shape graph by capusim model name
+ * (vgg16 | resnet50 | resnet152 | inceptionv3 | inceptionv4 | densenet |
+ * bert | lstm). fatal()s on an unknown name.
+ */
+Graph buildModelByName(const std::string &name, std::int64_t batch);
+
+/**
+ * Merge independently built per-variant graphs into one union graph. Every
+ * tensor and op of part i is copied with its name prefixed "tag/" and all
+ * tensor references (inputs, outputs, autograd metadata) remapped; part i's
+ * ops become variant i. Weights are intentionally duplicated per variant —
+ * each shape class owns a pinned compiled executable, as real frameworks
+ * keep per-shape engines resident.
+ */
+Graph mergeVariantGraphs(std::string name, std::vector<Graph> parts,
+                         const std::vector<std::string> &tags);
+
+/** Varlen bert: sequence lengths {seqLen/2, 3*seqLen/4, seqLen}. */
+DynamicWorkload buildVarlenBert(std::int64_t batch, std::uint64_t seed);
+
+/** Varlen lstm: unroll lengths {T/2, 3*T/4, T}. */
+DynamicWorkload buildVarlenLstm(std::int64_t batch, std::uint64_t seed);
+
+/**
+ * Batch ramp for any zoo model: variants at {batch/2, 3*batch/4, batch},
+ * scheduled as a warmup ramp (small -> mid -> full) with seeded boundary
+ * jitter rather than a shuffle.
+ */
+DynamicWorkload buildBatchRamp(const std::string &model, std::int64_t batch,
+                               std::uint64_t seed);
+
+/** Branchy CNN: three alternative towers routed per iteration. */
+DynamicWorkload buildBranchy(std::int64_t batch, std::uint64_t seed);
+
+/**
+ * Top-level dispatch used by capusim --workload. For Static returns
+ * `buildModelByName(model, batch)` with an empty schedule. Varlen requires
+ * model bert or lstm (fatal otherwise); Branchy ignores `model`.
+ */
+DynamicWorkload buildWorkload(WorkloadKind kind, const std::string &model,
+                              std::int64_t batch, std::uint64_t seed);
+
+} // namespace capu
+
+#endif // CAPU_MODELS_WORKLOAD_HH

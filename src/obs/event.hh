@@ -34,7 +34,9 @@ namespace capu::obs
  * capuchaos episodes and Recovery the pipeline's degradation reactions,
  * so chaos traces show cause and reaction side by side. Replay marks
  * synthesized steady-state iterations (capureplay) so a trace always
- * distinguishes executed from replayed time.
+ * distinguishes executed from replayed time. Drift carries shape-class
+ * switches and re-measurement episodes on dynamic workloads (capudrift),
+ * making the cost of adaptation attributable.
  */
 enum Track : std::uint32_t
 {
@@ -47,6 +49,7 @@ enum Track : std::uint32_t
     kTrackFault = 6,
     kTrackRecovery = 7,
     kTrackReplay = 8,
+    kTrackDrift = 9,
 };
 
 /** How the event maps onto the Chrome trace_event phase model. */

@@ -168,6 +168,50 @@ buildProfile(const std::vector<obs::TraceEvent> &events,
     }
     out.wallTicks = out.sessionEnd - out.sessionBegin;
 
+    // --- shape-class drift attribution (capudrift) ---
+    // The drift track marks each iteration's class at its begin tick and
+    // records novel-class / re-measurement decisions; static runs emit
+    // nothing on it, leaving the summary all-zero.
+    {
+        std::vector<Tick> begins;
+        begins.reserve(out.iterations.size());
+        for (const auto &it : out.iterations)
+            begins.push_back(it.begin);
+        for (const obs::TraceEvent *ev : evs) {
+            if (ev->track != obs::kTrackDrift)
+                continue;
+            if (startsWith(ev->name, "drift.class:")) {
+                auto pos = std::upper_bound(begins.begin(), begins.end(),
+                                            ev->ts);
+                if (pos == begins.begin())
+                    continue;
+                std::size_t idx =
+                    static_cast<std::size_t>(pos - begins.begin()) - 1;
+                if (ev->ts < out.iterations[idx].end) {
+                    out.iterations[idx].shapeClass =
+                        std::atoi(ev->name.c_str() + 12);
+                }
+            } else if (startsWith(ev->name, "drift.novel")) {
+                ++out.drift.novel;
+            } else if (startsWith(ev->name, "drift.remeasure")) {
+                ++out.drift.remeasures;
+            }
+        }
+        for (const auto &it : out.iterations) {
+            if (it.shapeClass < 0)
+                continue;
+            auto cls = static_cast<std::size_t>(it.shapeClass);
+            if (out.drift.iterationsPerClass.size() <= cls) {
+                out.drift.iterationsPerClass.resize(cls + 1, 0);
+                out.drift.wallPerClass.resize(cls + 1, 0);
+            }
+            ++out.drift.iterationsPerClass[cls];
+            out.drift.wallPerClass[cls] += it.end - it.begin;
+        }
+        for (int n : out.drift.iterationsPerClass)
+            out.drift.classes += n > 0 ? 1 : 0;
+    }
+
     // --- accounts keyed by tensor / op id ---
     std::map<std::int64_t, TensorAccount> tensors;
     std::map<std::int64_t, OpAccount> ops;

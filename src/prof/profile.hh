@@ -124,7 +124,25 @@ struct IterationProfile
      * alignment compares digest sequences index-by-index.
      */
     std::uint64_t digest = 0;
+    /** Shape class from the drift track's marker; -1 on static runs. */
+    int shapeClass = -1;
     Buckets buckets;
+};
+
+/**
+ * Shape-class drift attribution (capudrift), built from the drift track's
+ * markers. All-zero on static runs — the drift track is only named (and
+ * its events only emitted) when the graph is dynamic.
+ */
+struct DriftSummary
+{
+    int classes = 0;    ///< distinct shape classes observed
+    int novel = 0;      ///< first-measurement events (drift.novel)
+    int remeasures = 0; ///< watchdog re-measurements (drift.remeasure)
+    /** Iterations attributed to each class, indexed by class id. */
+    std::vector<int> iterationsPerClass;
+    /** Wall-clock per class (sum of its iteration windows). */
+    std::vector<Tick> wallPerClass;
 };
 
 struct Profile
@@ -145,6 +163,7 @@ struct Profile
     std::vector<TensorAccount> tensors; ///< ascending tensor id
     std::vector<OpAccount> ops;         ///< ascending op id
     CriticalPathSummary critical;
+    DriftSummary drift;
 
     std::uint64_t peakBytes = 0; ///< max gpu.bytes_in_use sample
     Tick peakTs = 0;

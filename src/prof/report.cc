@@ -162,6 +162,24 @@ renderCommon(std::ostream &os, const Profile &p, std::size_t topK,
     os << (markdown ? "\n" : "") << "conservation error: " << err
        << " ns\n";
 
+    if (p.drift.classes > 0) {
+        heading("shape-class drift (capudrift)");
+        os << p.drift.classes << " shape classes, " << p.drift.novel
+           << " novel-class measurements, " << p.drift.remeasures
+           << " drift re-measurements\n";
+        Table d({"class", "iters", "wall(ms)", "share"});
+        for (std::size_t c = 0; c < p.drift.iterationsPerClass.size();
+             ++c) {
+            if (p.drift.iterationsPerClass[c] == 0)
+                continue;
+            d.addRow({cellInt(static_cast<std::int64_t>(c)),
+                      cellInt(p.drift.iterationsPerClass[c]),
+                      ms(p.drift.wallPerClass[c]),
+                      share(p.drift.wallPerClass[c], p.wallTicks)});
+        }
+        emit(d);
+    }
+
     heading("top costly tensors");
     Table tensors = tensorTable(p, topK);
     if (tensors.rows() == 0) {
@@ -234,12 +252,22 @@ writeProfileJson(std::ostream &os, const Profile &p)
         os << (first ? "\n" : ",\n") << "    {\"iteration\": "
            << it.iteration << ", \"begin\": " << it.begin << ", \"end\": "
            << it.end << ", \"digest\": \"" << hexDigest(it.digest)
-           << "\", \"buckets\": ";
+           << "\", \"class\": " << it.shapeClass << ", \"buckets\": ";
         writeBucketsJson(os, it.buckets, "    ");
         os << "}";
         first = false;
     }
-    os << "\n  ],\n  \"tensors\": [";
+    os << "\n  ],\n  \"drift\": {\"classes\": " << p.drift.classes
+       << ", \"novel\": " << p.drift.novel << ", \"remeasures\": "
+       << p.drift.remeasures << ", \"per_class\": [";
+    first = true;
+    for (std::size_t c = 0; c < p.drift.iterationsPerClass.size(); ++c) {
+        os << (first ? "" : ", ") << "{\"class\": " << c
+           << ", \"iterations\": " << p.drift.iterationsPerClass[c]
+           << ", \"wall_ns\": " << p.drift.wallPerClass[c] << "}";
+        first = false;
+    }
+    os << "]},\n  \"tensors\": [";
     first = true;
     for (const auto &a : p.tensors) {
         os << (first ? "\n" : ",\n") << "    {\"tensor\": " << a.tensor
@@ -378,8 +406,21 @@ loadProfileJson(const std::string &path, Profile &out, std::string *err)
         it.begin = j["begin"].asU64();
         it.end = j["end"].asU64();
         it.digest = std::strtoull(j["digest"].str.c_str(), nullptr, 16);
+        if (j.has("class"))
+            it.shapeClass = static_cast<int>(j["class"].asI64());
         loadBuckets(j["buckets"], it.buckets);
         out.iterations.push_back(it);
+    }
+    if (root.has("drift")) {
+        const json::Value &d = root["drift"];
+        out.drift.classes = static_cast<int>(d["classes"].asI64());
+        out.drift.novel = static_cast<int>(d["novel"].asI64());
+        out.drift.remeasures = static_cast<int>(d["remeasures"].asI64());
+        for (const json::Value &j : d["per_class"].arr) {
+            out.drift.iterationsPerClass.push_back(
+                static_cast<int>(j["iterations"].asI64()));
+            out.drift.wallPerClass.push_back(j["wall_ns"].asU64());
+        }
     }
     for (const json::Value &j : root["tensors"].arr) {
         TensorAccount a;

@@ -19,6 +19,7 @@
 #include "exec/session.hh"
 #include "faults/fault_engine.hh"
 #include "faults/fault_spec.hh"
+#include "models/workload.hh"
 #include "models/zoo.hh"
 #include "policy/noop_policy.hh"
 #include "support/logging.hh"
@@ -400,4 +401,63 @@ TEST(Chaos, DifferentSeedsDiverge)
         return iterationStamps(r);
     };
     EXPECT_NE(stamps(1), stamps(2));
+}
+
+// --- faults x dynamic workloads (capudrift) ---------------------------
+
+TEST(ChaosDrift, EveryFaultClassComposesWithVarlen)
+{
+    // Chaos under a varlen stream: no OOM, every iteration completes, the
+    // run costs at most a bounded factor over the fault-free stream, and
+    // the per-class re-measure budget bounds any thrash between
+    // fault-triggered and drift-triggered re-measurement.
+    DynamicWorkload base = buildVarlenLstm(8, 3);
+    ExecConfig clean_cfg = chaosConfig("");
+    clean_cfg.variantSchedule = base.schedule;
+    ChaosRun clean(Graph(base.graph), clean_cfg);
+    SessionResult rclean = clean.session.run(16);
+    ASSERT_FALSE(rclean.oom) << rclean.oomMessage;
+    Tick clean_wall =
+        rclean.iterations.back().end - rclean.iterations.front().begin;
+
+    const char *specs[] = {"pcie:0.5", "jitter:0.1",
+                           "swapfail:p=0.2,retries=3", "hostcap:4GiB",
+                           "pcie:0.6;jitter:0.1"};
+    for (const char *spec : specs) {
+        SCOPED_TRACE(spec);
+        ExecConfig cfg = chaosConfig(spec);
+        cfg.variantSchedule = base.schedule;
+        CapuchinOptions opts;
+        opts.driftThreshold = 0.35; // what capusim arms under --faults
+        ChaosRun run(Graph(base.graph), cfg, opts);
+        SessionResult r = run.session.run(16);
+        EXPECT_FALSE(r.oom) << r.oomMessage;
+        ASSERT_EQ(r.iterations.size(), 16u);
+        Tick wall = r.iterations.back().end - r.iterations.front().begin;
+        EXPECT_LE(wall, 2 * clean_wall) << "unbounded chaos overhead";
+        // Bounded escalation, not a remeasure loop: each shape class may
+        // re-measure at most maxRemeasures times.
+        EXPECT_LE(run.policy->remeasures(),
+                  opts.maxRemeasures *
+                      static_cast<int>(run.policy->shapeClassCount()));
+    }
+}
+
+TEST(ChaosDrift, PressuredBatchRampSurvivesDegradedPcie)
+{
+    // Batch-ramp at a swapping batch size: the heavy class actually moves
+    // tensors, so degraded PCIe exercises the fault path on a stream whose
+    // shape also drifts. The run must complete every scheduled class.
+    DynamicWorkload dw = buildBatchRamp("resnet50", 400, 1);
+    ExecConfig cfg = chaosConfig("pcie:0.5");
+    cfg.variantSchedule = dw.schedule;
+    CapuchinOptions opts;
+    opts.driftThreshold = 0.35;
+    int iters = static_cast<int>(dw.schedule.size());
+    ChaosRun run(std::move(dw.graph), cfg, opts);
+    SessionResult r = run.session.run(iters);
+    EXPECT_FALSE(r.oom) << r.oomMessage;
+    EXPECT_EQ(r.iterations.size(), static_cast<std::size_t>(iters));
+    EXPECT_EQ(run.policy->shapeClassCount(), 3u);
+    EXPECT_LE(run.policy->remeasures(), 3 * opts.maxRemeasures);
 }

@@ -29,6 +29,7 @@
 #include "core/trace_io.hh"
 #include "exec/session.hh"
 #include "faults/fault_spec.hh"
+#include "models/workload.hh"
 #include "models/zoo.hh"
 #include "analysis/happens_before.hh"
 #include "obs/chrome_trace.hh"
@@ -69,6 +70,8 @@ struct Options
     std::string profileJson;
     std::size_t traceCap = 0; ///< 0 = library default
     std::string faults;
+    std::string workload = "static";
+    std::uint64_t workloadSeed = 0;
     std::uint64_t seed = 0;
     obs::ObsLevel obsLevel = obs::ObsLevel::Off;
     bool obsLevelSet = false;
@@ -222,6 +225,14 @@ usage()
         "  --no-replay        execute every iteration for real\n"
         "  --replay-audit <n> re-execute an audit iteration every n\n"
         "                     synthesized ones (0 = never audit)\n"
+        "  --workload <kind>  iteration-shape dynamism (capudrift):\n"
+        "                     static (default; plain single-shape run)\n"
+        "                     varlen (variable sequence length; bert or\n"
+        "                     lstm only) | batch-ramp (mid-training batch\n"
+        "                     change) | branchy (per-iteration control\n"
+        "                     flow; ignores --model)\n"
+        "  --workload-seed <n> seed for the workload's variant schedule\n"
+        "                     (default 0; deterministic per seed)\n"
         "  --faults <spec>    capuchaos fault plan, e.g.\n"
         "                     \"pcie:0.5@2000-4000;jitter:0.1;hostcap:8GiB;"
         "swapfail:p=0.01,retries=3\"\n"
@@ -304,6 +315,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.replayAudit = std::atoi(next());
         else if (a == "--faults")
             opt.faults = next();
+        else if (a == "--workload")
+            opt.workload = next();
+        else if (a == "--workload-seed")
+            opt.workloadSeed = std::strtoull(next(), nullptr, 10);
         else if (a == "--seed")
             opt.seed = std::strtoull(next(), nullptr, 10);
         else if (a == "--quiet")
@@ -335,7 +350,8 @@ main(int argc, char **argv)
             std::cout << "models:  vgg16 resnet50 resnet152 inceptionv3 "
                          "inceptionv4 densenet bert lstm\n"
                       << "policies: tf vdnn vdnn-conv openai-m openai-s "
-                         "capuchin capuchin-swap capuchin-recompute\n";
+                         "capuchin capuchin-swap capuchin-recompute\n"
+                      << "workloads: static varlen batch-ramp branchy\n";
             return 0;
         }
 
@@ -388,6 +404,25 @@ main(int argc, char **argv)
         if (opt.replayAudit >= 0)
             cfg.replay.auditInterval = opt.replayAudit;
 
+        // Dynamic workloads (capudrift): the builder returns the variant
+        // union graph and the seeded schedule rides in the ExecConfig. The
+        // static kind routes through the same buildByName path as ever.
+        WorkloadKind wkind;
+        if (!workloadFromString(opt.workload, wkind))
+            fatal("unknown workload '{}' (static, varlen, batch-ramp, "
+                  "branchy)",
+                  opt.workload);
+        auto buildG = [&](std::int64_t b) -> Graph {
+            if (wkind == WorkloadKind::Static)
+                return buildByName(opt.model, b);
+            return buildWorkload(wkind, opt.model, b, opt.workloadSeed)
+                .graph;
+        };
+        if (wkind != WorkloadKind::Static)
+            cfg.variantSchedule =
+                buildWorkload(wkind, opt.model, opt.batch, opt.workloadSeed)
+                    .schedule;
+
         if (opt.obsSelfcheck) {
             // Self-measurement: run the same workload at every obs level,
             // compare host wall-clock (the observability overhead) and
@@ -404,7 +439,7 @@ main(int argc, char **argv)
             {
                 // Untimed warm-up so the first timed run does not pay
                 // allocator/page-cache cold-start.
-                Session warm(buildByName(opt.model, opt.batch), cfg,
+                Session warm(buildG(opt.batch), cfg,
                              policyByName(opt.policy, opt.lint, faults_on));
                 (void)warm.run(1);
             }
@@ -412,7 +447,7 @@ main(int argc, char **argv)
                                obs::ObsLevel::Full}) {
                 ExecConfig c = cfg;
                 c.obsLevel = level;
-                Session s(buildByName(opt.model, opt.batch), c,
+                Session s(buildG(opt.batch), c,
                           policyByName(opt.policy, opt.lint, faults_on));
                 auto t0 = std::chrono::steady_clock::now();
                 auto rr = s.run(opt.iterations);
@@ -455,7 +490,7 @@ main(int argc, char **argv)
 
         if (opt.findMax) {
             auto mb = findMaxBatch(
-                [&](std::int64_t b) { return buildByName(opt.model, b); },
+                [&](std::int64_t b) { return buildG(b); },
                 [&] { return policyByName(opt.policy, opt.lint, faults_on); }, cfg);
             std::cout << "max batch for " << opt.model << " under "
                       << opt.policy << (opt.eager ? " (eager)" : "")
@@ -467,7 +502,7 @@ main(int argc, char **argv)
             CapuchinPolicy *capu = nullptr;
             auto p = makeCapuchinPolicy();
             capu = static_cast<CapuchinPolicy *>(p.get());
-            Session session(buildByName(opt.model, opt.batch), cfg,
+            Session session(buildG(opt.batch), cfg,
                             std::move(p));
             auto r = session.run(1);
             if (r.oom)
@@ -488,7 +523,7 @@ main(int argc, char **argv)
         const int warmup = std::max(opt.warmup, 0);
         const int repeat = std::max(opt.repeat, 1);
         for (int w = 0; w < warmup; ++w) {
-            Session s(buildByName(opt.model, opt.batch), cfg,
+            Session s(buildG(opt.batch), cfg,
                       policyByName(opt.policy, opt.lint, faults_on));
             (void)s.run(opt.iterations);
         }
@@ -497,7 +532,7 @@ main(int argc, char **argv)
         std::optional<Session> session;
         std::optional<SessionResult> result;
         for (int rep = 0; rep < repeat; ++rep) {
-            session.emplace(buildByName(opt.model, opt.batch), cfg,
+            session.emplace(buildG(opt.batch), cfg,
                             policyByName(opt.policy, opt.lint, faults_on));
             auto t0 = std::chrono::steady_clock::now();
             result = session->run(opt.iterations);
