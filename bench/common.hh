@@ -130,14 +130,23 @@ benchThreads()
  */
 template <typename Job>
 auto
-sweepParallel(std::size_t n, Job job)
+sweepParallel(std::size_t n, Job job, unsigned threads)
     -> std::vector<decltype(job(std::size_t{}))>
 {
     using R = decltype(job(std::size_t{}));
     std::vector<R> out(n);
-    ThreadPool pool(benchThreads());
+    ThreadPool pool(threads);
     pool.forEachIndex(n, [&](std::size_t i) { out[i] = job(i); });
     return out;
+}
+
+/** As above with the default worker count (CAPU_BENCH_THREADS / hw). */
+template <typename Job>
+auto
+sweepParallel(std::size_t n, Job job)
+    -> std::vector<decltype(job(std::size_t{}))>
+{
+    return sweepParallel(n, std::move(job), benchThreads());
 }
 
 /** "x.xx" ratio cell, guarding division by zero. */

@@ -13,6 +13,20 @@ CapuchinPolicy::CapuchinPolicy(CapuchinOptions opts) : opts_(opts)
 {
 }
 
+std::unique_ptr<MemoryPolicy>
+CapuchinPolicy::clone() const
+{
+    auto copy = std::make_unique<CapuchinPolicy>(opts_);
+    copy->feedbackAdjustments_ = feedbackAdjustments_;
+    copy->currentClass_ = currentClass_;
+    copy->classes_.reserve(classes_.size());
+    for (const auto &cs : classes_) {
+        copy->classes_.push_back(
+            cs ? std::make_unique<ClassState>(*cs) : nullptr);
+    }
+    return copy;
+}
+
 CapuchinPolicy::ClassState &
 CapuchinPolicy::classFor(std::uint64_t cls) const
 {

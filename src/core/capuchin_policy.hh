@@ -109,6 +109,13 @@ class CapuchinPolicy : public MemoryPolicy
     bool onIterationAbort(ExecContext &ctx) override;
     bool stableForReplay() const override;
 
+    /**
+     * Deep copy: the per-shape-class plan cache (measured traces, plans,
+     * trigger maps, drift watchdog state) is duplicated entry by entry, so
+     * a fork's refinements never leak back into the original.
+     */
+    std::unique_ptr<MemoryPolicy> clone() const override;
+
     // --- introspection (state of the current shape class; a static
     // session has exactly one, so these read as before capudrift) ---
     const AccessTracker &tracker() const { return cur().tracker; }

@@ -51,6 +51,36 @@ Executor::Executor(const Graph &graph, ExecConfig config,
         obs_.tracer.setTrackName(obs::kTrackDrift, "drift");
 }
 
+Executor::Executor(const Executor &other, const Graph &graph,
+                   MemoryPolicy *policy)
+    : graph_(graph), config_(other.config_), policy_(policy),
+      cost_(other.cost_), faults_(other.faults_), obs_(other.obs_),
+      mem_(other.mem_), compute_(other.compute_), pcie_(other.pcie_),
+      schedule_(other.schedule_),
+      variantSchedules_(other.variantSchedules_),
+      activeVariant_(other.activeVariant_), states_(other.states_),
+      usesPerIteration_(other.usesPerIteration_),
+      lastUsePos_(other.lastUsePos_), clock_(other.clock_),
+      hostClock_(other.hostClock_), computeBarrier_(other.computeBarrier_),
+      iteration_(other.iteration_), setupDone_(other.setupDone_),
+      currentOp_(other.currentOp_), currentOpEnd_(other.currentOpEnd_),
+      stats_(other.stats_), replayArmed_(other.replayArmed_),
+      iterAccessHash_(other.iterAccessHash_),
+      replayCounterOffsets_(other.replayCounterOffsets_)
+{
+    // The member-wise copies above left four raw observer pointers aimed
+    // at `other`'s tracer / fault engine. Re-attach them to this copy's
+    // own instances; attachment is a pure pointer swap (never touches
+    // simulated time), so the fork's machine state stays bit-identical.
+    compute_.attachTracer(&obs_.tracer, obs::kTrackCompute);
+    pcie_.attachTracer(&obs_.tracer);
+    mem_.attachTracer(&obs_.tracer);
+    if (faults_.enabled()) {
+        faults_.attachTracer(&obs_.tracer);
+        pcie_.attachFaults(&faults_);
+    }
+}
+
 TensorState &
 Executor::state(TensorId id)
 {

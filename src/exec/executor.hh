@@ -290,8 +290,27 @@ class Executor : public ExecContext
      */
     Executor(const Graph &graph, ExecConfig config, MemoryPolicy *policy);
 
+    /**
+     * Rebinding copy (capufork): duplicate `other`'s entire simulated
+     * machine — clocks, streams, allocator layout, pending frees, tensor
+     * residency, replay hashes, observability buffers — against the
+     * caller's graph reference and policy pointer. Every component is
+     * value-semantic, so the copy is deep by construction; the only
+     * post-copy surgery is re-attaching the intra-executor observer
+     * pointers (streams/memory/faults -> this copy's tracer, PCIe ->
+     * this copy's fault engine) so the fork never writes into the
+     * original's buffers. `graph` must be the same immutable graph the
+     * original was built from (forks share it; it is never mutated after
+     * construction).
+     */
+    Executor(const Executor &other, const Graph &graph,
+             MemoryPolicy *policy);
+
     /** Allocate weights, build the schedule, attach the policy. */
     void setup();
+
+    /** Whether setup() already ran (forked executors arrive set up). */
+    bool setupDone() const { return setupDone_; }
 
     /** Run one full training iteration. Throws OomError on exhaustion. */
     IterationStats runIteration();

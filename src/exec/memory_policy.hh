@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -276,6 +277,16 @@ class MemoryPolicy
 
     /** Whether the policy needs no computation graph (eager-compatible). */
     virtual bool graphAgnostic() const { return false; }
+
+    /**
+     * Deep copy of the policy *including all learned state* (measured
+     * traces, plans, triggers, feedback adjustments). Forked sessions
+     * (capufork, exec/session.hh) carry the clone so the fork continues
+     * exactly where the original would have — same decisions at the same
+     * ticks. Policies that cannot be cloned return nullptr, which makes
+     * Session::fork() fail loudly instead of silently sharing state.
+     */
+    virtual std::unique_ptr<MemoryPolicy> clone() const { return nullptr; }
 };
 
 } // namespace capu

@@ -40,6 +40,16 @@ ReplayEngine::ReplayEngine(Executor &exec, MemoryPolicy *policy)
     }
 }
 
+ReplayEngine::ReplayEngine(const ReplayEngine &other, Executor &exec,
+                           MemoryPolicy *policy)
+    : exec_(exec), policy_(policy), opts_(other.opts_),
+      armed_(other.armed_), disabled_(other.disabled_),
+      weightIds_(other.weightIds_), haveMarks_(other.haveMarks_),
+      marks_(other.marks_), tracks_(other.tracks_),
+      summary_(other.summary_)
+{
+}
+
 ReplayEngine::Track &
 ReplayEngine::trackFor(std::uint64_t cls)
 {

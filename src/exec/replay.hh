@@ -62,6 +62,15 @@ class ReplayEngine
     ReplayEngine(Executor &exec, MemoryPolicy *policy);
 
     /**
+     * Rebinding copy (capufork): duplicate `other`'s replay state —
+     * digests, steady-state templates, audit cadence, marks, summary —
+     * against a forked executor/policy pair, so a fork keeps synthesizing
+     * from the very iteration the original would have.
+     */
+    ReplayEngine(const ReplayEngine &other, Executor &exec,
+                 MemoryPolicy *policy);
+
+    /**
      * Whether the next iteration may be synthesized. False while
      * observing, when the policy is unstable, and when an audit iteration
      * is due (the caller must then execute for real and observe()).

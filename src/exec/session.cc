@@ -1,10 +1,15 @@
 #include "exec/session.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <future>
+#include <limits>
 #include <map>
+#include <utility>
 
-#include "exec/replay.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace capu
 {
@@ -43,21 +48,127 @@ SessionResult::last() const
 
 Session::Session(Graph graph, ExecConfig config,
                  std::unique_ptr<MemoryPolicy> policy)
-    : graph_(std::move(graph)), config_(std::move(config)),
+    : graph_(std::make_shared<const Graph>(std::move(graph))),
+      config_(std::move(config)), policy_(std::move(policy))
+{
+    exec_ = std::make_unique<Executor>(*graph_, config_, policy_.get());
+    replay_ = std::make_unique<ReplayEngine>(*exec_, policy_.get());
+}
+
+Session::Session(const Session &other, std::unique_ptr<MemoryPolicy> policy)
+    : graph_(other.graph_), config_(other.config_),
       policy_(std::move(policy))
 {
-    exec_ = std::make_unique<Executor>(graph_, config_, policy_.get());
+    exec_ = std::make_unique<Executor>(*other.exec_, *graph_,
+                                       policy_.get());
+    replay_ = std::make_unique<ReplayEngine>(*other.replay_, *exec_,
+                                             policy_.get());
+}
+
+Session
+Session::fork() const
+{
+    std::unique_ptr<MemoryPolicy> cloned;
+    if (policy_) {
+        cloned = policy_->clone();
+        if (!cloned)
+            panic("policy '{}' does not implement clone(); cannot fork",
+                  policy_->name());
+    }
+    return Session(*this, std::move(cloned));
+}
+
+Session
+Session::fork(std::unique_ptr<MemoryPolicy> policy) const
+{
+    Session s(*this, std::move(policy));
+    // The replacement never saw attach() (setup already ran on the
+    // original) and the copied replay templates describe the *old*
+    // policy's decisions: attach it now and re-observe from scratch.
+    if (s.policy_ && s.exec_->setupDone())
+        s.policy_->attach(*s.graph_, s.exec_->schedule(), s.config_);
+    s.replay_ = std::make_unique<ReplayEngine>(*s.exec_, s.policy_.get());
+    return s;
+}
+
+SimState
+Session::snapshot() const
+{
+    return SimState(std::make_unique<Session>(fork()));
+}
+
+SimState::SimState(std::unique_ptr<Session> frozen)
+    : frozen_(std::move(frozen))
+{
+}
+
+Session
+SimState::fork() const
+{
+    return frozen_->fork();
+}
+
+Session
+SimState::fork(std::unique_ptr<MemoryPolicy> policy) const
+{
+    return frozen_->fork(std::move(policy));
+}
+
+const Graph &
+SimState::graph() const
+{
+    return frozen_->graph();
+}
+
+SpeculateResult
+Session::speculate(const std::vector<PolicyFactoryFn> &variants,
+                   int iterations, unsigned jobs) const
+{
+    SpeculateResult out;
+    out.candidates.resize(variants.size());
+    auto runOne = [&](std::size_t i) {
+        Session s = fork(variants[i] ? variants[i]() : nullptr);
+        SpeculateCandidate &c = out.candidates[i];
+        c.policyName = s.policy_ ? s.policy_->name() : "none";
+        c.result = s.run(iterations);
+        c.steadyTicks = c.result.steadyIterationTicks();
+    };
+    if (jobs > 1 && variants.size() > 1) {
+        // Each fork owns its whole machine; candidates share only the
+        // immutable graph and this (const) session, so thread timing can
+        // reorder wall-clock completion but never a simulated result.
+        ThreadPool pool(
+            std::min<unsigned>(jobs,
+                               static_cast<unsigned>(variants.size())));
+        pool.forEachIndex(variants.size(),
+                          [&](std::size_t i) { runOne(i); });
+    } else {
+        for (std::size_t i = 0; i < variants.size(); ++i)
+            runOne(i);
+    }
+    // Decide the winner only after the barrier, from simulated ticks:
+    // lowest steady iteration time wins, OOM ranks last, ties break
+    // toward the lower index — deterministic at any thread count.
+    auto rank = [](const SpeculateCandidate &c) {
+        return c.result.oom ? std::numeric_limits<Tick>::max()
+                            : c.steadyTicks;
+    };
+    for (std::size_t i = 1; i < out.candidates.size(); ++i) {
+        if (rank(out.candidates[i]) < rank(out.candidates[out.winner]))
+            out.winner = i;
+    }
+    return out;
 }
 
 SessionResult
 Session::run(int iterations)
 {
     SessionResult result;
-    result.graphStats = graph_.stats();
+    result.graphStats = graph_->stats();
     result.iterations.reserve(static_cast<std::size_t>(
         std::max(iterations, 0)));
-    ReplayEngine replay(*exec_, policy_.get());
-    const bool dynamic = graph_.dynamic();
+    ReplayEngine &replay = *replay_;
+    const bool dynamic = graph_->dynamic();
     auto variantAt = [this](int iter) -> std::size_t {
         if (config_.variantSchedule.empty())
             return 0;
@@ -65,7 +176,8 @@ Session::run(int iterations)
                                        config_.variantSchedule.size()];
     };
     try {
-        exec_->setup();
+        if (!exec_->setupDone())
+            exec_->setup();
         int completed = 0;
         int aborts = 0;
         while (completed < iterations) {
@@ -148,7 +260,8 @@ worstCaseVariant(const Graph &g)
 std::int64_t
 findMaxBatch(const GraphBuilderFn &builder,
              const PolicyFactoryFn &make_policy, const ExecConfig &config,
-             int iterations, std::int64_t lo, std::int64_t hi)
+             int iterations, std::int64_t lo, std::int64_t hi,
+             unsigned jobs, MaxBatchStats *stats)
 {
     // Probe sessions run with steady-state replay armed: once a probe's
     // iterations stabilize the remainder are synthesized, which cannot
@@ -158,14 +271,11 @@ findMaxBatch(const GraphBuilderFn &builder,
     // the executor, so this is a no-op under chaos testing.
     ExecConfig probe_config = config;
     probe_config.replay.enabled = true;
-    // Sessions are expensive; robust() re-probes batch - step and the
-    // bisection revisits midpoints, so feasibility is memoized per batch.
-    std::map<std::int64_t, bool> memo;
-    bool saw_dynamic = false;
-    auto feasible = [&](std::int64_t batch) {
-        auto it = memo.find(batch);
-        if (it != memo.end())
-            return it->second;
+    std::atomic<bool> saw_dynamic{false};
+    std::atomic<int> sessions_run{0};
+    // One probe = one private session over a private graph: a pure,
+    // thread-safe function of the batch, runnable on any worker.
+    auto probeOnce = [&](std::int64_t batch) {
         Graph g = builder(batch);
         ExecConfig pc = probe_config;
         if (g.dynamic()) {
@@ -173,11 +283,54 @@ findMaxBatch(const GraphBuilderFn &builder,
             // conservative on footprint and far cheaper than cycling the
             // schedule. The winner is re-validated under the true
             // schedule below.
-            saw_dynamic = true;
+            saw_dynamic.store(true, std::memory_order_relaxed);
             pc.variantSchedule = {worstCaseVariant(g)};
         }
         Session session(std::move(g), pc, make_policy());
-        bool ok = !session.run(iterations).oom;
+        sessions_run.fetch_add(1, std::memory_order_relaxed);
+        return !session.run(iterations).oom;
+    };
+
+    // Sessions are expensive; robust() re-probes batch - step and the
+    // bisection revisits midpoints, so feasibility is memoized per batch.
+    //
+    // Determinism under speculation (jobs > 1): `memo` is *serial-
+    // visible* — it gains an entry exactly when the serial decision
+    // sequence calls feasible(), never when a speculative probe merely
+    // completes. robust()'s witness scan walks memo, so warming extra
+    // batches in `warm` cannot conjure a witness the serial search would
+    // not have had: speculation changes where a result is computed, never
+    // which results the decisions see. feasible(b) is a pure function of
+    // b, so the values are order-independent by construction.
+    std::map<std::int64_t, bool> memo;
+    std::map<std::int64_t, std::shared_future<bool>> warm;
+    int served_from_warm = 0;
+    const bool parallel = jobs > 1;
+    std::unique_ptr<ThreadPool> pool;
+    if (parallel)
+        pool = std::make_unique<ThreadPool>(jobs);
+    auto speculate = [&](std::int64_t batch) {
+        if (!parallel || batch < lo || batch > hi)
+            return;
+        if (memo.count(batch) != 0 || warm.count(batch) != 0)
+            return;
+        warm.emplace(batch,
+                     pool->submit([&probeOnce, batch] {
+                             return probeOnce(batch);
+                         }).share());
+    };
+    auto feasible = [&](std::int64_t batch) {
+        auto it = memo.find(batch);
+        if (it != memo.end())
+            return it->second;
+        bool ok;
+        auto w = warm.find(batch);
+        if (w != warm.end()) {
+            ok = w->second.get();
+            ++served_from_warm;
+        } else {
+            ok = probeOnce(batch);
+        }
         memo.emplace(batch, ok);
         return ok;
     };
@@ -200,17 +353,52 @@ findMaxBatch(const GraphBuilderFn &builder,
         }
         return feasible(batch - step);
     };
+    auto finish = [&](std::int64_t answer, int extra_probes) {
+        if (stats) {
+            stats->probes =
+                sessions_run.load(std::memory_order_relaxed) + extra_probes;
+            stats->speculated = static_cast<int>(warm.size());
+            stats->servedFromWarm = served_from_warm;
+            stats->wasted =
+                static_cast<int>(warm.size()) - served_from_warm;
+            stats->jobs = std::max(jobs, 1u);
+        }
+        return answer;
+    };
+
+    // The gallop ladder lo+1, lo+2, lo+4, ... is fully predictable, so a
+    // sliding window of `jobs` upcoming rungs is warmed ahead of the
+    // serial cursor (the probes beyond the first infeasible rung are the
+    // price of speculation — wasted work, never a changed decision).
+    std::vector<std::int64_t> ladder;
+    for (std::int64_t gap = 1;; gap *= 2) {
+        std::int64_t probe = std::min(lo + gap, hi);
+        if (ladder.empty() || ladder.back() != probe)
+            ladder.push_back(probe);
+        if (probe == hi)
+            break;
+    }
+    std::size_t cursor = 0;
+    auto topUpLadder = [&] {
+        for (std::size_t j = cursor;
+             j < ladder.size() && j < cursor + jobs; ++j)
+            speculate(ladder[j]);
+    };
+    if (parallel)
+        topUpLadder();
 
     if (!feasible(lo))
-        return 0;
+        return finish(0, 0);
     // Gallop up from lo with doubling strides: simulation cost grows with
     // batch size, so bracketing the boundary with cheap small-batch
     // sessions beats opening the search with a hi-sized run. The gallop
     // trusts single probes; the bracket anchor is re-qualified below.
     std::int64_t good = lo;
     std::int64_t bad = hi + 1;
-    for (std::int64_t gap = 1;; gap *= 2) {
-        std::int64_t probe = std::min(lo + gap, hi);
+    for (; cursor < ladder.size(); ++cursor) {
+        if (parallel)
+            topUpLadder();
+        std::int64_t probe = ladder[cursor];
         if (!feasible(probe)) {
             bad = probe;
             break;
@@ -221,6 +409,7 @@ findMaxBatch(const GraphBuilderFn &builder,
     }
     // Demote a lucky-spike anchor before bisecting (at most one extra
     // session: feasible(good) is already memoized).
+    speculate(good - std::max<std::int64_t>(1, good / 32));
     if (good > lo && !robust(good)) {
         bad = good;
         good = lo;
@@ -230,13 +419,36 @@ findMaxBatch(const GraphBuilderFn &builder,
         // infeasible.
         while (good + 1 < bad) {
             std::int64_t mid = good + (bad - good) / 2;
+            if (parallel) {
+                // Warm the next few levels of the bisection tree: both
+                // children of every speculated node are candidates, so
+                // 2^depth - 1 probes cover `depth` future decisions no
+                // matter which way each one goes.
+                int depth = 1;
+                for (unsigned cap = 2; cap <= jobs; cap *= 2)
+                    ++depth;
+                std::function<void(std::int64_t, std::int64_t, int)> warm_tree =
+                    [&](std::int64_t g, std::int64_t b, int d) {
+                        if (d == 0 || g + 1 >= b)
+                            return;
+                        std::int64_t m = g + (b - g) / 2;
+                        speculate(m);
+                        warm_tree(g, m, d - 1);
+                        warm_tree(m, b, d - 1);
+                    };
+                warm_tree(good, bad, depth);
+                // robust(mid)'s fallback witness, in case the memoized
+                // window misses.
+                speculate(mid - std::max<std::int64_t>(1, mid / 32));
+            }
             if (robust(mid))
                 good = mid;
             else
                 bad = mid;
         }
     }
-    if (saw_dynamic && good > 0) {
+    int extra_probes = 0;
+    if (saw_dynamic.load(std::memory_order_relaxed) && good > 0) {
         // Worst-class probes are conservative on footprint but not on
         // fragmentation: interleaving shape classes lays the arena out
         // differently. Re-validate the witness under the caller's true
@@ -251,6 +463,7 @@ findMaxBatch(const GraphBuilderFn &builder,
             if (it != memo_true.end())
                 return it->second;
             Session session(builder(batch), probe_config, make_policy());
+            ++extra_probes;
             bool ok = !session.run(horizon).oom;
             memo_true.emplace(batch, ok);
             return ok;
@@ -268,7 +481,7 @@ findMaxBatch(const GraphBuilderFn &builder,
             good = tgood;
         }
     }
-    return good;
+    return finish(good, extra_probes);
 }
 
 } // namespace capu

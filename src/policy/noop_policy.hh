@@ -21,6 +21,12 @@ class NoOpPolicy : public MemoryPolicy
   public:
     std::string name() const override { return "TF-ori"; }
     bool graphAgnostic() const override { return true; }
+
+    std::unique_ptr<MemoryPolicy>
+    clone() const override
+    {
+        return std::make_unique<NoOpPolicy>(*this);
+    }
 };
 
 std::unique_ptr<MemoryPolicy> makeNoOpPolicy();

@@ -51,6 +51,13 @@ class VdnnPolicy : public MemoryPolicy
     bool onAllocFailure(ExecContext &ctx, std::uint64_t bytes) override;
     void endIteration(ExecContext &ctx, const IterationStats &stats) override;
 
+    /** All state is value-semantic: a member-wise copy is a deep copy. */
+    std::unique_ptr<MemoryPolicy>
+    clone() const override
+    {
+        return std::make_unique<VdnnPolicy>(*this);
+    }
+
     /** Offload targets in forward order (exposed for tests). */
     const std::vector<TensorId> &targets() const { return targets_; }
 

@@ -59,6 +59,7 @@ struct Options
     bool eager = false;
     bool lint = false;
     bool findMax = false;
+    unsigned jobs = 1;
     bool csv = false;
     bool list = false;
     bool obsSelfcheck = false;
@@ -195,7 +196,17 @@ usage()
         "                     timestamp cross-check of every ordering edge\n"
         "                     the executor claims; implies --obs-level\n"
         "                     full; findings exit 4\n"
-        "  --max-batch        binary-search the maximum feasible batch\n"
+        "  --max-batch        binary-search the maximum feasible batch;\n"
+        "                     prints a `search:` summary line with the\n"
+        "                     probe count (and, with --jobs > 1, how many\n"
+        "                     probes were speculated on the pool and how\n"
+        "                     many of those the search consumed)\n"
+        "  --jobs <n>         worker threads for --max-batch (capufork\n"
+        "                     speculative probing; default 1). The answer\n"
+        "                     is bit-identical at any job count —\n"
+        "                     parallelism only changes where probe\n"
+        "                     sessions run, never which results the\n"
+        "                     search sees\n"
         "  --dump-trace <f>   run 1 iteration under Capuchin and write the\n"
         "                     measured tensor-access trace to <f>\n"
         "  --csv              machine-readable per-iteration output\n"
@@ -282,6 +293,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.lint = true;
         else if (a == "--max-batch")
             opt.findMax = true;
+        else if (a == "--jobs") {
+            long v = std::atol(next());
+            if (v < 1)
+                fatal("--jobs needs a positive worker count");
+            opt.jobs = static_cast<unsigned>(v);
+        }
         else if (a == "--dump-trace")
             opt.dumpTrace = next();
         else if (a == "--csv")
@@ -489,12 +506,21 @@ main(int argc, char **argv)
         }
 
         if (opt.findMax) {
+            MaxBatchStats mstats;
             auto mb = findMaxBatch(
                 [&](std::int64_t b) { return buildG(b); },
-                [&] { return policyByName(opt.policy, opt.lint, faults_on); }, cfg);
+                [&] { return policyByName(opt.policy, opt.lint, faults_on); },
+                cfg, 3, 1, 4096, opt.jobs, &mstats);
             std::cout << "max batch for " << opt.model << " under "
                       << opt.policy << (opt.eager ? " (eager)" : "")
                       << ": " << mb << "\n";
+            std::cout << "search: " << mstats.probes << " probe sessions";
+            if (mstats.jobs > 1)
+                std::cout << " on " << mstats.jobs << " jobs ("
+                          << mstats.speculated << " speculated, "
+                          << mstats.servedFromWarm << " consumed, "
+                          << mstats.wasted << " wasted)";
+            std::cout << "\n";
             return 0;
         }
 
