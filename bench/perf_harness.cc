@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "bench/serve_common.hh"
 #include "core/policy_maker.hh"
 #include "memory/bfc_allocator.hh"
 #include "models/workload.hh"
@@ -781,6 +782,79 @@ runDrift(const DriftCase &dc)
     return res;
 }
 
+/**
+ * Planning-service bench (capuserve): a cold phase (one measured planning
+ * session per tenant) vs a warm phase (cache hits answered by forking the
+ * template session). Warm responses must digest-match the cold plan for
+ * their key — plan_io digests hash every item field, so equality means
+ * bit-identical plans — and warm requests/sec must clear 10x cold. The
+ * ratio is self-relative host time (both phases in one process), so like
+ * the drift floors it gates in-process and stays out of the
+ * calibration-normalized "gate" blob.
+ */
+struct ServeBenchResult
+{
+    std::size_t tenants = 0;
+    std::size_t coldRequests = 0;
+    std::size_t warmRequests = 0;
+    double coldReqPerSec = 0, coldP50Ms = 0, coldP99Ms = 0;
+    double warmReqPerSec = 0, warmP50Ms = 0, warmP99Ms = 0;
+    double speedup = 0;
+    std::uint64_t hits = 0, misses = 0;
+    bool identical = false;
+    bool ok = false;
+};
+
+ServeBenchResult
+runServeBench(bool quick)
+{
+    ServeBenchResult res;
+    const ServeTenant *tenants = quick ? kQuickServeTenants : kServeTenants;
+    res.tenants =
+        quick ? std::size(kQuickServeTenants) : std::size(kServeTenants);
+    std::size_t warm_count = quick ? 24 : 64;
+
+    serve::PlanServiceConfig cfg;
+    serve::PlanService service(cfg, nullptr);
+    serve::RequestQueue queue(service);
+    ServeDigestLedger ledger;
+
+    std::vector<serve::PlanRequest> cold_reqs =
+        serveMix(tenants, res.tenants, res.tenants, /*warm_iters=*/0);
+    ServePhaseResult cold = runServePhase(queue, cold_reqs);
+    ledger.observe(cold_reqs, cold.responses);
+
+    std::vector<serve::PlanRequest> warm_reqs =
+        serveMix(tenants, res.tenants, warm_count, /*warm_iters=*/0);
+    ServePhaseResult warm = runServePhase(queue, warm_reqs);
+    ledger.observe(warm_reqs, warm.responses);
+
+    res.coldRequests = cold.requests;
+    res.warmRequests = warm.requests;
+    res.coldReqPerSec = cold.reqPerSec;
+    res.coldP50Ms = cold.p50Ms;
+    res.coldP99Ms = cold.p99Ms;
+    res.warmReqPerSec = warm.reqPerSec;
+    res.warmP50Ms = warm.p50Ms;
+    res.warmP99Ms = warm.p99Ms;
+    res.speedup =
+        cold.reqPerSec > 0 ? warm.reqPerSec / cold.reqPerSec : 0.0;
+    res.hits = service.cacheStats().hits;
+    res.misses = service.cacheStats().misses;
+    res.identical = ledger.identical() && !cold.errors && !warm.errors;
+    res.ok = res.identical && res.speedup >= 10.0;
+    if (!ledger.identical())
+        std::cerr << "SERVE DIGEST MISMATCH: warm response disagrees with "
+                     "its cold plan\n";
+    if (cold.errors || warm.errors)
+        std::cerr << "SERVE ERRORS: " << cold.errors + warm.errors
+                  << " requests failed\n";
+    if (res.speedup < 10.0)
+        std::cerr << "SERVE WARM SPEEDUP " << cellDouble(res.speedup, 2)
+                  << "x BELOW 10x COLD\n";
+    return res;
+}
+
 std::string
 jsonNum(double v)
 {
@@ -1040,6 +1114,21 @@ main(int argc, char **argv)
                  "oracle vs replan-from-scratch, simulated ms)\n";
     dt.print(std::cout);
 
+    // ---- planning service (capuserve) -----------------------------------
+    ServeBenchResult sv = runServeBench(opt.quick);
+    ok = ok && sv.ok; // hard floor; runServeBench already printed why
+    std::cout << "\nplanning service (cold measured sessions vs warm "
+                 "template forks, "
+              << sv.tenants << " tenants)\n"
+              << "  cold: " << cellDouble(sv.coldReqPerSec, 0)
+              << " req/s (p50 " << cellDouble(sv.coldP50Ms, 2) << " ms, p99 "
+              << cellDouble(sv.coldP99Ms, 2) << " ms)  warm: "
+              << cellDouble(sv.warmReqPerSec, 0) << " req/s (p50 "
+              << cellDouble(sv.warmP50Ms, 3) << " ms, p99 "
+              << cellDouble(sv.warmP99Ms, 3) << " ms)  -> "
+              << cellDouble(sv.speedup, 1) << "x, digests "
+              << (sv.identical ? "identical" : "MISMATCHED") << "\n";
+
     // ---- BENCH_perf.json -------------------------------------------------
     std::ostringstream js;
     js << "{\n"
@@ -1143,6 +1232,21 @@ main(int argc, char **argv)
            << (i + 1 < drifts.size() ? "," : "") << "\n";
     }
     js << "  ],\n";
+    // Additive serve section (capuserve): self-relative host-time floor,
+    // gated in-process above — kept out of the "gate" blob like drift.
+    js << "  \"serve\": {\"tenants\": " << sv.tenants
+       << ", \"cold_requests\": " << sv.coldRequests
+       << ", \"warm_requests\": " << sv.warmRequests
+       << ", \"cold_req_per_sec\": " << jsonNum(sv.coldReqPerSec)
+       << ", \"cold_p50_ms\": " << jsonNum(sv.coldP50Ms)
+       << ", \"cold_p99_ms\": " << jsonNum(sv.coldP99Ms)
+       << ",\n    \"warm_req_per_sec\": " << jsonNum(sv.warmReqPerSec)
+       << ", \"warm_p50_ms\": " << jsonNum(sv.warmP50Ms)
+       << ", \"warm_p99_ms\": " << jsonNum(sv.warmP99Ms)
+       << ", \"warm_speedup\": " << jsonNum(sv.speedup)
+       << ", \"hits\": " << sv.hits << ", \"misses\": " << sv.misses
+       << ", \"identical\": " << (sv.identical ? "true" : "false")
+       << ", \"ok\": " << (sv.ok ? "true" : "false") << "},\n";
     // Flat gate metrics: "time-like, lower is better" keys the baseline
     // comparison scans for by name. Drift numbers are simulated ticks, not
     // host time — they gate in-process (<= 15% of the per-shape oracle)

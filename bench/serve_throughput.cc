@@ -1,0 +1,296 @@
+/**
+ * @file
+ * capuserve throughput harness: cold vs warm requests/sec and latency.
+ *
+ * Phase 1 (cold) sends one request per tenant — every one a cache miss
+ * that runs a full measured planning session. Phase 2 (warm) repeats the
+ * mix — every one a cache hit answered by forking the cached template
+ * session, no re-measurement. A third phase runs one guided iteration on
+ * each warm fork to show the fork is a *live* session, not just a stored
+ * plan. Two hard gates:
+ *
+ *  - identity: every warm response's plan digest equals the digest of the
+ *    cold measured plan for its key (plan_io digests hash every field of
+ *    every item, so equal digests mean bit-identical plans);
+ *  - speedup: warm requests/sec must be >= 10x cold requests/sec — the
+ *    capuserve acceptance floor. The ratio is host-time based but
+ *    self-relative (both phases run on the same machine in the same
+ *    process), so no calibration normalization is needed.
+ *
+ * --verify adds an eviction-churn stress: a service capped at 2 cache
+ * entries is driven round-robin over 4 tenants, so every request misses
+ * and every insert evicts. Each re-measured plan must digest-match the
+ * first plan ever built for its key — determinism under churn — and the
+ * cache must stay at its capacity floor with live eviction counts.
+ *
+ * Exit status: 0 ok; 1 gate failure; 2 usage error.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/serve_common.hh"
+#include "obs/metrics.hh"
+#include "support/logging.hh"
+#include "support/units.hh"
+
+using namespace capu;
+using namespace capu::bench;
+using namespace capu::serve;
+
+namespace
+{
+
+struct Options
+{
+    bool quick = false;
+    bool verify = false;
+    std::size_t warmRequests = 0; ///< 0 = default (64 full, 24 quick)
+    int gpus = 4;
+    std::string device = "p100";
+    std::string json;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "usage: serve_throughput [options]\n"
+        "  --quick           2-tenant mix, fewer warm requests (CI smoke)\n"
+        "  --verify          add the eviction-churn stress phase\n"
+        "  --warm-requests N warm-phase request count (default 64; 24\n"
+        "                    with --quick)\n"
+        "  --gpus N          admission tokens for the request queue\n"
+        "  --device NAME     p100 (default) | v100\n"
+        "  --json FILE       write machine-readable results here\n";
+}
+
+double
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::atof(buf);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick")
+            opt.quick = true;
+        else if (arg == "--verify")
+            opt.verify = true;
+        else if (arg == "--warm-requests")
+            opt.warmRequests =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--gpus")
+            opt.gpus = std::atoi(next());
+        else if (arg == "--device")
+            opt.device = next();
+        else if (arg == "--json")
+            opt.json = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+    setLogEnabled(false);
+
+    const ServeTenant *tenants =
+        opt.quick ? kQuickServeTenants : kServeTenants;
+    std::size_t n_tenants =
+        opt.quick ? std::size(kQuickServeTenants) : std::size(kServeTenants);
+    std::size_t warm_requests =
+        opt.warmRequests ? opt.warmRequests : (opt.quick ? 24u : 64u);
+
+    try {
+        PlanServiceConfig cfg;
+        if (opt.device == "v100")
+            cfg.exec.device = GpuDeviceSpec::v100();
+        else
+            cfg.exec.device = GpuDeviceSpec::p100();
+        obs::MetricsRegistry metrics;
+        metrics.setEnabled(true);
+        PlanService service(cfg, &metrics);
+        RequestQueueConfig qcfg;
+        qcfg.gpus = opt.gpus;
+        RequestQueue queue(service, qcfg);
+
+        bool ok = true;
+        ServeDigestLedger ledger;
+
+        // ---- phase 1: cold (every request measures and plans) -----------
+        std::vector<PlanRequest> cold_reqs =
+            serveMix(tenants, n_tenants, n_tenants, /*warm_iters=*/0);
+        ServePhaseResult cold = runServePhase(queue, cold_reqs);
+        ledger.observe(cold_reqs, cold.responses);
+
+        // ---- phase 2: warm (every request forks the cached template) ----
+        std::vector<PlanRequest> warm_reqs =
+            serveMix(tenants, n_tenants, warm_requests, /*warm_iters=*/0);
+        ServePhaseResult warm = runServePhase(queue, warm_reqs);
+        ledger.observe(warm_reqs, warm.responses);
+
+        // ---- phase 3: warm fork + 1 guided iteration (reported only) ----
+        std::vector<PlanRequest> run_reqs =
+            serveMix(tenants, n_tenants, n_tenants, /*warm_iters=*/1);
+        ServePhaseResult forkrun = runServePhase(queue, run_reqs);
+        ledger.observe(run_reqs, forkrun.responses);
+
+        const PlanCacheStats &cs = service.cacheStats();
+        double speedup =
+            cold.reqPerSec > 0 ? warm.reqPerSec / cold.reqPerSec : 0.0;
+
+        std::cout << "capuserve throughput (" << n_tenants
+                  << " tenants, device " << opt.device << ")\n";
+        std::cout << "  cold: " << cold.requests << " req, "
+                  << cold.reqPerSec << " req/s, p50 " << cold.p50Ms
+                  << " ms, p99 " << cold.p99Ms << " ms\n";
+        std::cout << "  warm: " << warm.requests << " req, "
+                  << warm.reqPerSec << " req/s, p50 " << warm.p50Ms
+                  << " ms, p99 " << warm.p99Ms << " ms\n";
+        std::cout << "  fork+run: " << forkrun.requests << " req, p50 "
+                  << forkrun.p50Ms << " ms (1 guided iteration each)\n";
+        std::cout << "  speedup: " << speedup << "x warm over cold; cache "
+                  << cs.hits << " hits / " << cs.misses << " misses, "
+                  << service.templateSessions() << " template sessions\n";
+
+        int errors = cold.errors + warm.errors + forkrun.errors;
+        if (errors) {
+            std::cerr << "SERVE ERRORS: " << errors
+                      << " requests failed\n";
+            ok = false;
+        }
+        if (!ledger.identical()) {
+            std::cerr << "SERVE DIGEST MISMATCH: a warm response disagrees "
+                         "with the cold plan for its key\n";
+            ok = false;
+        }
+        if (cs.misses != n_tenants ||
+            cs.hits != warm.requests + forkrun.requests) {
+            std::cerr << "SERVE CACHE ACCOUNTING OFF: " << cs.hits
+                      << " hits / " << cs.misses << " misses, expected "
+                      << warm.requests + forkrun.requests << " / "
+                      << n_tenants << "\n";
+            ok = false;
+        }
+        if (speedup < 10.0) {
+            std::cerr << "SERVE WARM SPEEDUP " << speedup
+                      << "x BELOW 10x COLD\n";
+            ok = false;
+        }
+
+        // ---- eviction-churn stress (--verify) ---------------------------
+        std::uint64_t churn_evictions = 0;
+        std::size_t churn_requests = 0;
+        bool churn_identical = true;
+        if (opt.verify) {
+            PlanServiceConfig ccfg = cfg;
+            ccfg.cacheEntries = 2; // 4 tenants round-robin: always evicting
+            ccfg.coldIterations = 2;
+            obs::MetricsRegistry cmetrics;
+            cmetrics.setEnabled(true);
+            PlanService churn_svc(ccfg, &cmetrics);
+            RequestQueue churn_queue(churn_svc, qcfg);
+            ServeDigestLedger churn_ledger;
+            int rounds = opt.quick ? 2 : 3;
+            for (int round = 0; round < rounds; ++round) {
+                std::vector<PlanRequest> reqs =
+                    serveMix(kServeTenants, std::size(kServeTenants),
+                             std::size(kServeTenants), /*warm_iters=*/0);
+                ServePhaseResult res = runServePhase(churn_queue, reqs);
+                churn_ledger.observe(reqs, res.responses);
+                churn_requests += res.requests;
+                if (res.errors) {
+                    std::cerr << "CHURN ERRORS in round " << round << "\n";
+                    ok = false;
+                }
+            }
+            const PlanCacheStats &ccs = churn_svc.cacheStats();
+            churn_evictions = ccs.evictions;
+            churn_identical = churn_ledger.identical();
+            std::cout << "  churn: " << churn_requests
+                      << " req over capacity-2 cache, " << ccs.evictions
+                      << " evictions, " << churn_svc.cacheEntries()
+                      << " resident, re-measured plans identical: "
+                      << (churn_identical ? "yes" : "NO") << "\n";
+            if (!churn_identical) {
+                std::cerr << "CHURN DIGEST MISMATCH: a re-measured plan "
+                             "differs from the first plan for its key\n";
+                ok = false;
+            }
+            if (ccs.evictions == 0 || churn_svc.cacheEntries() > 2) {
+                std::cerr << "CHURN DID NOT EVICT (evictions="
+                          << ccs.evictions << ", entries="
+                          << churn_svc.cacheEntries() << ")\n";
+                ok = false;
+            }
+            if (churn_svc.templateSessions() > churn_svc.cacheEntries()) {
+                std::cerr << "TEMPLATE SESSION LEAK: "
+                          << churn_svc.templateSessions()
+                          << " sessions for " << churn_svc.cacheEntries()
+                          << " cache entries\n";
+                ok = false;
+            }
+        }
+
+        if (!opt.json.empty()) {
+            std::ofstream js(opt.json);
+            js << "{\n  \"schema\": \"capu-serve-v1\",\n"
+               << "  \"quick\": " << (opt.quick ? "true" : "false") << ",\n"
+               << "  \"tenants\": " << n_tenants << ",\n"
+               << "  \"cold\": {\"requests\": " << cold.requests
+               << ", \"req_per_sec\": " << jsonNum(cold.reqPerSec)
+               << ", \"p50_ms\": " << jsonNum(cold.p50Ms)
+               << ", \"p99_ms\": " << jsonNum(cold.p99Ms) << "},\n"
+               << "  \"warm\": {\"requests\": " << warm.requests
+               << ", \"req_per_sec\": " << jsonNum(warm.reqPerSec)
+               << ", \"p50_ms\": " << jsonNum(warm.p50Ms)
+               << ", \"p99_ms\": " << jsonNum(warm.p99Ms) << "},\n"
+               << "  \"fork_run_p50_ms\": " << jsonNum(forkrun.p50Ms)
+               << ",\n"
+               << "  \"warm_speedup\": " << jsonNum(speedup) << ",\n"
+               << "  \"identical\": "
+               << (ledger.identical() ? "true" : "false") << ",\n"
+               << "  \"hits\": " << cs.hits << ",\n"
+               << "  \"misses\": " << cs.misses << ",\n"
+               << "  \"churn\": {\"requests\": " << churn_requests
+               << ", \"evictions\": " << churn_evictions
+               << ", \"identical\": "
+               << (churn_identical ? "true" : "false") << "}\n}\n";
+            std::cout << "  wrote " << opt.json << "\n";
+        }
+
+        if (!ok) {
+            std::cout << "SERVE THROUGHPUT FAILED (see messages above)\n";
+            return 1;
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << "serve_throughput: " << e.what() << "\n";
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << "serve_throughput: " << e.what() << "\n";
+        return 1;
+    }
+}

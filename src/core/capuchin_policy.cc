@@ -584,8 +584,29 @@ CapuchinPolicy::onIterationAbort(ExecContext &ctx)
     }
     // Guided execution died: grow the saving target past what passive
     // mode managed to free and rebuild, while refinement budget remains.
-    if (cs.replans >= opts_.maxReplans)
+    // When the PolicyMaker already plans every coverable byte and still
+    // falls short of the target, boosting the target further cannot change
+    // the plan — every retry would fail identically. Fall back to passive
+    // (measured) execution instead: it is always feasible, and the fresh
+    // complete trace it records seeds the next plan.
+    bool saturated = cs.planBuilt && cs.plan.plannedBytes + (64ull << 20) <
+                                         cs.plan.targetBytes;
+    if (saturated || cs.replans >= opts_.maxReplans) {
+        if (cs.everCompleted) {
+            cs.remeasureRequested = true;
+            ++cs.remeasures;
+            auto &o = ctx.obs();
+            o.tracer.instant(obs::kTrackRecovery, obs::EventKind::Recovery,
+                             ctx.now(), "recovery.passive_fallback");
+            o.metrics.add("plan.remeasures");
+            inform("capuchin: plan coverage saturated ({} of {}); falling "
+                   "back to passive execution",
+                   formatBytes(cs.plan.plannedBytes),
+                   formatBytes(cs.plan.targetBytes));
+            return true;
+        }
         return false;
+    }
     cs.targetBoost += cs.guidedPassiveBytes + (512ull << 20);
     cs.guidedPassiveBytes = 0;
     ++cs.replans;
@@ -595,6 +616,22 @@ CapuchinPolicy::onIterationAbort(ExecContext &ctx)
     ctx.obs().metrics.add("plan.revisions");
     buildPlan(ctx, cs);
     return true;
+}
+
+void
+CapuchinPolicy::seedPlan(Plan plan)
+{
+    ClassState &cs = classFor(0);
+    cs.plan = std::move(plan);
+    cs.bestPlan = cs.plan;
+    cs.bestPassiveBytes = 0;
+    cs.everCompleted = true; // skip measured execution
+    cs.measured = false;
+    cs.planBuilt = true;
+    cs.planFromPartial = false;
+    cs.refinementFrozen = true; // no trace to rebuild from
+    cs.replans = opts_.maxReplans;
+    rebuildTriggerMaps(cs);
 }
 
 std::unique_ptr<MemoryPolicy>

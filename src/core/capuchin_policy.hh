@@ -116,6 +116,16 @@ class CapuchinPolicy : public MemoryPolicy
      */
     std::unique_ptr<MemoryPolicy> clone() const override;
 
+    /**
+     * Install `plan` as shape class 0's frozen plan before the first
+     * iteration, skipping measured execution entirely (capuserve: a
+     * deserialized plan validated against the graph fingerprint). The
+     * seeded class has no measured trace, so refinement is frozen and any
+     * guided abort falls straight back to passive execution rather than
+     * rebuilding from an empty tracker.
+     */
+    void seedPlan(Plan plan);
+
     // --- introspection (state of the current shape class; a static
     // session has exactly one, so these read as before capudrift) ---
     const AccessTracker &tracker() const { return cur().tracker; }

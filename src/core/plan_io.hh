@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Stable on-disk serialization for memory plans (capuserve).
+ *
+ * A serialized plan is the unit the planning service persists and ships:
+ * header (magic, format version, graph fingerprint, structural digest)
+ * followed by the Plan payload in fixed-width little-endian fields. The
+ * digest extends the capureplay FNV-1a iteration digest to plans: it hashes
+ * every field of every item plus the plan totals, so two plans with equal
+ * digests are bit-identical in every way the executor can observe, and a
+ * warm cache answer can be proven equal to a cold measured run by digest
+ * comparison alone.
+ *
+ * Loading validates in order: magic, format version, graph fingerprint
+ * (the plan must describe the graph the caller is about to run), payload
+ * completeness, and finally the recomputed digest against the stored one —
+ * a stale, truncated or corrupted file is rejected with a specific status
+ * instead of steering an executor with someone else's eviction schedule.
+ */
+
+#ifndef CAPU_CORE_PLAN_IO_HH
+#define CAPU_CORE_PLAN_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/policy_maker.hh"
+#include "graph/graph.hh"
+
+namespace capu
+{
+
+/** Bumped whenever the on-disk layout changes; loaders reject mismatches. */
+constexpr std::uint32_t kPlanFormatVersion = 1;
+
+/** "CAPUPLAN", little-endian. */
+constexpr std::uint64_t kPlanMagic = 0x4e414c5055504143ull;
+
+/**
+ * Identity of a computation graph for plan-compatibility checks: FNV-1a
+ * over the graph name, every tensor (name, bytes, kind, shape) and every
+ * op (name, category, phase, edges, cost-model fields), plus the variant
+ * list. Two graphs with equal fingerprints present identical planning
+ * problems; a plan is only loaded into a session whose graph fingerprint
+ * matches the one the plan was measured on.
+ */
+std::uint64_t graphFingerprint(const Graph &graph);
+
+/**
+ * Structural digest of a plan: FNV-1a over item count, totals, peak
+ * window and every field of every item, in item order. Equal digests mean
+ * bit-identical plans (same items, same triggers, same timing fields).
+ */
+std::uint64_t planDigest(const Plan &plan);
+
+enum class PlanLoadStatus
+{
+    Ok,
+    BadMagic,            ///< not a serialized plan
+    VersionMismatch,     ///< written by an incompatible format version
+    FingerprintMismatch, ///< plan describes a different graph
+    Truncated,           ///< payload ends before the header says it should
+    DigestMismatch,      ///< payload bytes do not hash to the stored digest
+};
+
+const char *planLoadStatusName(PlanLoadStatus status);
+
+/** Header fields of a serialized plan (filled by loadPlan on request). */
+struct PlanFileInfo
+{
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t digest = 0;
+};
+
+/** Write `plan` to `os` with the current format version. */
+void serializePlan(std::ostream &os, const Plan &plan,
+                   std::uint64_t graph_fingerprint);
+
+/**
+ * Read a plan from `is`. `expect_fingerprint` must match the stored graph
+ * fingerprint (pass the fingerprint of the graph the plan will drive).
+ * On any non-Ok status `out` is left default-constructed.
+ */
+PlanLoadStatus loadPlan(std::istream &is, Plan &out,
+                        std::uint64_t expect_fingerprint,
+                        PlanFileInfo *info = nullptr);
+
+/** File convenience wrappers. savePlanFile is false on I/O failure. */
+bool savePlanFile(const std::string &path, const Plan &plan,
+                  std::uint64_t graph_fingerprint);
+PlanLoadStatus loadPlanFile(const std::string &path, Plan &out,
+                            std::uint64_t expect_fingerprint,
+                            PlanFileInfo *info = nullptr);
+
+} // namespace capu
+
+#endif // CAPU_CORE_PLAN_IO_HH

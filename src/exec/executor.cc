@@ -238,7 +238,16 @@ Executor::setupWeights()
 void
 Executor::abortIteration()
 {
+    // Fence the retry behind everything the aborted attempt put in flight:
+    // the compute stream and both PCIe lanes (a lane's drain tick covers
+    // every transfer it ever carried, including half-finished swap-ins
+    // whose buffers are freed below). Without the fence the retried
+    // iteration's ops start at compute busyUntil and can rewind behind the
+    // aborted attempt's transfer events, overlapping them on reused
+    // buffers.
     clock_ = std::max(clock_, compute_.busyUntil());
+    clock_ = std::max(clock_, pcie_.laneBusyUntil(CopyDir::DeviceToHost));
+    clock_ = std::max(clock_, pcie_.laneBusyUntil(CopyDir::HostToDevice));
     mem_.drainAll();
     for (std::size_t i = 0; i < states_.size(); ++i) {
         auto id = static_cast<TensorId>(i);
@@ -263,7 +272,10 @@ Executor::abortIteration()
         st.pinCount = 0;
         st.accessCount = 0;
     }
-    computeBarrier_ = 0;
+    compute_.fence(clock_);
+    pcie_.lane(CopyDir::DeviceToHost).fence(clock_);
+    pcie_.lane(CopyDir::HostToDevice).fence(clock_);
+    computeBarrier_ = clock_;
     currentOp_ = kInvalidOp;
     mem_.gpu().checkInvariants();
     obs_.tracer.instant(obs::kTrackHost, obs::EventKind::Marker, clock_,
@@ -639,6 +651,7 @@ Executor::recomputeTensor(TensorId target, Tick at)
             }
             ost.gpuHandle = *h;
             ost.status = TensorStatus::In;
+            ost.swapInReady = 0;
             notePhase(out, "IN", at);
         }
 
@@ -786,6 +799,7 @@ Executor::runOp(OpId id)
             ost.gpuHandle = ist.gpuHandle;
             ist.gpuHandle.reset();
             ost.status = TensorStatus::In;
+            ost.swapInReady = 0;
             ost.produced = true;
             ost.remainingUses = usesPerIteration_[out0];
             aliased = true;
@@ -809,6 +823,7 @@ Executor::runOp(OpId id)
                                     graph_.tensor(out).name, out);
         st.gpuHandle = h;
         st.status = TensorStatus::In;
+        st.swapInReady = 0;
         st.produced = true;
         st.remainingUses = usesPerIteration_[out];
         notePhase(out, "IN", t);
@@ -919,11 +934,13 @@ Executor::releaseIfDead(TensorId id, Tick at)
 {
     TensorState &st = state(id);
     if (st.gpuHandle) {
-        // Data may still feed an in-flight D2H transfer; free at whichever
-        // is later.
+        // Data may still feed an in-flight D2H transfer, or an in-flight
+        // H2D fill may still be writing the chunk; free at whichever is
+        // latest.
         Tick when = std::max(at, st.status == TensorStatus::SwappingOut
                                      ? st.swapOutDone
                                      : at);
+        when = std::max(when, st.swapInReady);
         mem_.freeAt(when, *st.gpuHandle);
         st.gpuHandle.reset();
     }
@@ -1393,6 +1410,26 @@ Executor::evictSwapAsync(TensorId id)
         panic("policy tried to evict weight {}", graph_.tensor(id).name);
 
     std::uint64_t bytes = allocBytes(id);
+    // Clean victim: a host copy staged earlier this iteration is still
+    // current (tensors are write-once between productions), so the device
+    // chunk is a replica and the writeback is elided — free it once the
+    // evicting kernel retires and any in-flight fill completes. Copying
+    // clean data back out would also leave the D2H unordered against the
+    // swap-in that filled the buffer when no access consumed it.
+    if (st.hasHostCopy) {
+        Tick ready = std::max(clock_, currentOp_ != kInvalidOp
+                                          ? currentOpEnd_
+                                          : clock_);
+        Tick when = std::max(ready, st.swapInReady);
+        mem_.freeAt(when, *st.gpuHandle);
+        st.gpuHandle.reset();
+        st.status = TensorStatus::Out;
+        ++stats_.elidedWritebacks;
+        obs_.metrics.add("swap.writeback_elided");
+        noteOut(id);
+        notePhase(id, "OUT", when);
+        return;
+    }
     // Stage the pinned host destination before touching PCIe: staging
     // consumes no simulated time, and a failure here must degrade to
     // drop-for-recompute instead of aborting the run.
@@ -1462,6 +1499,20 @@ Executor::evictSwapSync(TensorId id)
         return false;
 
     std::uint64_t bytes = allocBytes(id);
+    // Clean victim (see evictSwapAsync): the surviving host copy makes the
+    // writeback redundant; just free the device chunk.
+    if (st.hasHostCopy) {
+        Tick when = std::max(clock_, st.swapInReady);
+        mem_.freeAt(when, *st.gpuHandle);
+        st.gpuHandle.reset();
+        st.status = TensorStatus::Out;
+        ++stats_.elidedWritebacks;
+        ++stats_.oomEvictions;
+        obs_.metrics.add("swap.writeback_elided");
+        noteOut(id);
+        notePhase(id, "OUT", when);
+        return true;
+    }
     bool fresh_host = false;
     if (!st.hasHostCopy) {
         st.hostHandle = hostStage(id, wireBytes(bytes));

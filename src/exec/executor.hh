@@ -238,6 +238,10 @@ struct IterationStats
     int fallbackKernels = 0;
     /** Passive-mode on-demand evictions (OOM handler). */
     int oomEvictions = 0;
+    /** Evictions whose D2H writeback was skipped: the host copy staged by
+     *  an earlier eviction of the same tensor was still current, so the
+     *  device chunk was freed without a transfer. */
+    int elidedWritebacks = 0;
 
     /** PCIe occupancy of prefetch (policy-triggered) swap-ins. */
     Tick prefetchBusy = 0;

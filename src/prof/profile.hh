@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/event.hh"
+#include "obs/metrics.hh"
 #include "prof/critical_path.hh"
 
 namespace capu::obs
@@ -145,6 +146,23 @@ struct DriftSummary
     std::vector<Tick> wallPerClass;
 };
 
+/**
+ * Planning-service attribution (capuserve), filled from the service's
+ * capu.serve.* counters. Absent (present=false, section omitted from the
+ * JSON) unless the profiled run drove a PlanService.
+ */
+struct ServeSummary
+{
+    bool present = false;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t diskLoads = 0;
+    std::uint64_t cacheEntries = 0;
+    std::uint64_t cacheBytes = 0;
+    double hitRate = 0.0;
+};
+
 struct Profile
 {
     int schema = 1;
@@ -164,6 +182,7 @@ struct Profile
     std::vector<OpAccount> ops;         ///< ascending op id
     CriticalPathSummary critical;
     DriftSummary drift;
+    ServeSummary serve;
 
     std::uint64_t peakBytes = 0; ///< max gpu.bytes_in_use sample
     Tick peakTs = 0;
@@ -201,6 +220,13 @@ Profile buildProfile(const std::vector<obs::TraceEvent> &events,
                      const ProfileOptions &opts = {});
 
 /** Convenience: profile a live tracer's ring (drops + meta carried over). */
+/**
+ * Lift a PlanService metrics registry's capu.serve.* counters and gauges
+ * into a ServeSummary (present=true). The inverse of the JSON "serve"
+ * section: attach the result to a Profile before writing it.
+ */
+ServeSummary serveSummaryFromMetrics(const obs::MetricsRegistry &metrics);
+
 Profile buildProfile(const obs::Tracer &tracer,
                      const ProfileOptions &opts = {});
 

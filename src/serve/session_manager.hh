@@ -1,0 +1,67 @@
+/**
+ * @file
+ * capuserve — template sessions for the warm path.
+ *
+ * One warmed-up Session is retained per plan-cache entry: the session that
+ * performed the cold measured run, with its learned plan, replay templates
+ * and machine state intact. A warm request never re-measures — it receives
+ * a `Session::fork()` of the template (O(live state), bit-identical
+ * continuation; capufork) and can start guided execution immediately.
+ *
+ * Lifetime is slaved to the PlanCache: the cache's eviction hook calls
+ * drop(), so a key's template disappears exactly when its plan does.
+ * Not thread-safe; PlanService serializes access (fork() itself performs
+ * pure reads of the stored session, but insertion/removal does not).
+ */
+
+#ifndef CAPU_SERVE_SESSION_MANAGER_HH
+#define CAPU_SERVE_SESSION_MANAGER_HH
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "exec/session.hh"
+#include "serve/plan_cache.hh"
+
+namespace capu::serve
+{
+
+class SessionManager
+{
+  public:
+    /** Retain `session` as the template for `key` (replaces any prior). */
+    void
+    store(const ServeKey &key, Session &&session)
+    {
+        sessions_[key] = std::make_unique<Session>(std::move(session));
+    }
+
+    bool
+    has(const ServeKey &key) const
+    {
+        return sessions_.find(key) != sessions_.end();
+    }
+
+    /** Fork the template for `key`; nullopt when none is resident. */
+    std::optional<Session>
+    forkFor(const ServeKey &key) const
+    {
+        auto it = sessions_.find(key);
+        if (it == sessions_.end())
+            return std::nullopt;
+        return it->second->fork();
+    }
+
+    void drop(const ServeKey &key) { sessions_.erase(key); }
+
+    std::size_t size() const { return sessions_.size(); }
+
+  private:
+    std::unordered_map<ServeKey, std::unique_ptr<Session>, ServeKeyHash>
+        sessions_;
+};
+
+} // namespace capu::serve
+
+#endif // CAPU_SERVE_SESSION_MANAGER_HH

@@ -78,6 +78,17 @@ class Stream
         busyTicks_ += busy;
     }
 
+    /**
+     * Quiesce: forbid new work from starting before `t` (a device-wide
+     * synchronize, e.g. after an aborted iteration). Emits no events.
+     */
+    void
+    fence(Tick t)
+    {
+        if (t > busyUntil_)
+            busyUntil_ = t;
+    }
+
     /** Reset the stream to idle at tick 0 (new simulation). */
     void reset();
 
